@@ -1,0 +1,52 @@
+"""Figure 11: abstraction size under different fat-tree routing policies.
+
+The same fat-tree is compressed under shortest-path routing and under a
+policy where the middle (aggregation) tier prefers routes from the bottom
+(edge) tier.  The paper's point: the policy-rich network needs a larger
+abstract network because the middle tier has more possible forwarding
+behaviours.  The harness reports both abstractions' sizes for several k.
+"""
+
+import pytest
+
+from conftest import full_scale, record_row
+from repro import Bonsai, fattree_network
+
+FIGURE = "Figure 11: fat-tree abstractions under different policies"
+
+
+def _sizes():
+    return [4, 6, 8] if full_scale() else [4, 6]
+
+
+@pytest.mark.parametrize("policy", ["shortest_path", "prefer_bottom"])
+def test_fig11_policy_abstraction_sizes(benchmark, policy):
+    sizes = _sizes()
+
+    def run():
+        results = []
+        for k in sizes:
+            network = fattree_network(k, policy=policy)
+            bonsai = Bonsai(network)
+            result = bonsai.compress(bonsai.equivalence_classes()[0])
+            results.append((k, network.graph.num_nodes(), result))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for k, nodes, result in results:
+        record_row(
+            FIGURE,
+            f"k={k:<2} ({nodes:>4} nodes) {policy:>15}: "
+            f"{result.abstract_nodes:>3} abstract nodes / {result.abstract_edges:>3} edges "
+            f"(splits: {sum(result.refinement.split_counts.values()) or '-'})",
+        )
+        benchmark.extra_info[f"k{k}"] = {
+            "abstract_nodes": result.abstract_nodes,
+            "abstract_edges": result.abstract_edges,
+        }
+        if policy == "shortest_path":
+            # Shortest-path fat-trees compress to the constant 6-node shape.
+            assert result.abstract_nodes == 6
+        else:
+            # The policy-rich variant is strictly larger (the Figure 11 shape).
+            assert result.abstract_nodes > 6

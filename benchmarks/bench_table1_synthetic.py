@@ -1,0 +1,75 @@
+"""Table 1(a): compression of synthetic networks (Fattree, Ring, Full Mesh).
+
+For each topology family and size the paper reports the concrete and
+abstract node/edge counts, the compression ratios, the number of
+destination equivalence classes, the time to build the BDDs, and the
+per-class compression time.  This harness regenerates every row.
+
+The paper's sizes (Fattree 180/500/1125, Ring 100/500/1000, Mesh
+50/150/250) are all enabled by default except the two largest, which are
+gated behind ``REPRO_BENCH_FULL=1`` so the default run stays quick.
+
+Expected shape (matching the paper):
+
+* Fattree and Full Mesh compress to a constant-size abstraction (6 nodes /
+  5 edges and 2 nodes / 1 edge) regardless of concrete size;
+* Ring compresses by roughly 2x, growing with the diameter;
+* compression time per class grows with topology size and is largest for
+  the densest topology (Full Mesh).
+"""
+
+import pytest
+
+from conftest import full_scale, record_row
+from repro import Bonsai, fattree_network, full_mesh_network, ring_network
+
+TABLE = "Table 1(a): synthetic networks"
+
+#: (label, builder, sample classes, heavy)
+CASES = [
+    ("fattree-180", lambda: fattree_network(12), 3, False),
+    ("fattree-500", lambda: fattree_network(20), 2, False),
+    ("fattree-1125", lambda: fattree_network(30), 1, True),
+    ("ring-100", lambda: ring_network(100), 3, False),
+    ("ring-500", lambda: ring_network(500), 2, False),
+    ("ring-1000", lambda: ring_network(1000), 1, True),
+    ("mesh-50", lambda: full_mesh_network(50), 3, False),
+    ("mesh-150", lambda: full_mesh_network(150), 2, False),
+    ("mesh-250", lambda: full_mesh_network(250), 1, True),
+]
+
+
+@pytest.mark.parametrize("label,builder,sample,heavy", CASES, ids=[c[0] for c in CASES])
+def test_table1_synthetic_compression(benchmark, label, builder, sample, heavy):
+    if heavy and not full_scale():
+        pytest.skip("paper-scale instance; set REPRO_BENCH_FULL=1 to run")
+    network = builder()
+    bonsai = Bonsai(network)
+    classes = bonsai.equivalence_classes()[:sample]
+
+    def run():
+        return [bonsai.compress(ec, build_network=False) for ec in classes]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    summary = bonsai.summarize(results, name=label)
+    row = summary.as_row()
+    benchmark.extra_info.update(row)
+
+    record_row(
+        TABLE,
+        f"{label:>13}: {row['nodes']:>5} / {row['edges']:>6} -> "
+        f"{row['abs_nodes']:>6} / {row['abs_edges']:>6}  "
+        f"ratio {row['node_ratio']:>7}x / {row['edge_ratio']:>8}x  "
+        f"ECs {row['num_ecs']:>4}  BDD {row['bdd_time_s']:>6}s  "
+        f"per-EC {row['compression_time_per_ec_s']:>7}s",
+    )
+
+    # Shape assertions from the paper.
+    if label.startswith("fattree"):
+        assert row["abs_nodes"] == 6 and row["abs_edges"] == 5
+    elif label.startswith("mesh"):
+        assert row["abs_nodes"] == 2 and row["abs_edges"] == 1
+    elif label.startswith("ring"):
+        size = network.graph.num_nodes()
+        assert row["abs_nodes"] == size // 2 + 1
+        assert 1.9 <= row["node_ratio"] <= 2.1

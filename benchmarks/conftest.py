@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(§8).  Benchmarks report their numbers two ways:
+
+* through ``benchmark.extra_info`` (visible with ``--benchmark-verbose`` or
+  in saved benchmark JSON), and
+* as a printed row, collected per table and echoed at the end of the run so
+  that ``pytest benchmarks/ --benchmark-only -s`` produces the paper-style
+  tables directly.
+
+Set ``REPRO_BENCH_FULL=1`` to run the largest (paper-scale) instances; the
+default keeps every instance at a size that finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List
+
+import pytest
+
+#: Rows accumulated by the benchmarks, keyed by table/figure name.
+_REPORT: Dict[str, List[str]] = defaultdict(list)
+
+
+def full_scale() -> bool:
+    """Whether to run paper-scale instances (opt-in via REPRO_BENCH_FULL=1)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false")
+
+
+def record_row(table: str, row: str) -> None:
+    """Record one formatted row for the end-of-run report."""
+    _REPORT[table].append(row)
+
+
+@pytest.fixture
+def report_row():
+    return record_row
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):  # noqa: D401
+    """Print the collected paper-style tables after the benchmark run."""
+    if not _REPORT:
+        return
+    terminalreporter.write_sep("=", "paper-style results")
+    for table in sorted(_REPORT):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {table} ---")
+        for row in _REPORT[table]:
+            terminalreporter.write_line(row)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Text-config workflow: parse a network description, compress it, and emit
+the smaller configuration set (what the Bonsai tool does inside Batfish).
+
+Run with::
+
+    python examples/config_file_workflow.py
+"""
+
+from repro import Bonsai
+from repro.config import format_network, parse_network
+
+#: A small campus: two identical distribution routers, four identical access
+#: routers and one core with an uplink filter.
+CAMPUS = """
+device core
+  network 10.0.0.0/24
+  bgp-neighbor dist1 export UPLINK
+  bgp-neighbor dist2 export UPLINK
+  route-map UPLINK 10 permit
+    match prefix-list SITE
+  prefix-list SITE permit 10.0.0.0/8 ge 8 le 32
+
+device dist1
+  bgp-neighbor core import IN export OUT
+  bgp-neighbor acc1 import IN export OUT
+  bgp-neighbor acc2 import IN export OUT
+  route-map IN 10 permit
+  route-map OUT 10 permit
+
+device dist2
+  bgp-neighbor core import IN export OUT
+  bgp-neighbor acc3 import IN export OUT
+  bgp-neighbor acc4 import IN export OUT
+  route-map IN 10 permit
+  route-map OUT 10 permit
+
+device acc1
+  bgp-neighbor dist1 import IN
+  route-map IN 10 permit
+device acc2
+  bgp-neighbor dist1 import IN
+  route-map IN 10 permit
+device acc3
+  bgp-neighbor dist2 import IN
+  route-map IN 10 permit
+device acc4
+  bgp-neighbor dist2 import IN
+  route-map IN 10 permit
+
+link core dist1
+link core dist2
+link dist1 acc1
+link dist1 acc2
+link dist2 acc3
+link dist2 acc4
+"""
+
+
+def main() -> None:
+    network = parse_network(CAMPUS, name="campus")
+    problems = network.validate()
+    print(f"Parsed {network.num_devices()} devices "
+          f"({'valid' if not problems else problems})")
+
+    bonsai = Bonsai(network)
+    ec = bonsai.equivalence_classes()[0]
+    result = bonsai.compress(ec, build_network=True)
+    print(f"Destination {ec.prefix}: {network.graph.num_nodes()} devices "
+          f"compressed to {result.abstract_nodes}")
+    print("Concrete-to-abstract mapping:")
+    for abstract_node in sorted(result.abstract_network.graph.nodes):
+        members = sorted(map(str, result.abstraction.concrete_nodes(abstract_node)))
+        print(f"  {abstract_node:<8} <- {', '.join(members)}")
+
+    print("\nEmitted abstract configuration:\n")
+    print(format_network(result.abstract_network))
+
+
+if __name__ == "__main__":
+    main()

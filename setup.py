@@ -1,0 +1,13 @@
+"""Legacy setup shim.
+
+The environment this repository targets has no network access and an old
+setuptools without the ``wheel`` package, so PEP 517 editable installs fail
+with "invalid command 'bdist_wheel'".  Keeping a ``setup.py`` lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

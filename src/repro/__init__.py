@@ -1,0 +1,89 @@
+"""Bonsai: control plane compression (Beckett et al., SIGCOMM 2018).
+
+This package reimplements the paper's system in pure Python: the Stable
+Routing Problem (SRP) model, protocol models, a configuration IR, a BDD
+engine for canonical policy comparison, the abstraction-refinement
+compression algorithm, and the downstream analyses used in the evaluation.
+
+Typical usage::
+
+    from repro import Bonsai, fattree_network
+
+    network = fattree_network(k=4)
+    bonsai = Bonsai(network)
+    results = bonsai.compress_all(limit=4)
+    print(bonsai.summarize(results).as_row())
+"""
+
+from repro.abstraction import (
+    Bonsai,
+    CompressionResult,
+    CompressionSummary,
+    NetworkAbstraction,
+    build_abstract_srp,
+    check_bgp_effective,
+    check_cp_equivalence,
+    check_effective,
+    compute_abstraction,
+)
+from repro.analysis import (
+    compute_data_plane,
+    compute_forwarding_table,
+    single_reachability_query,
+    verify_all_pairs_reachability,
+    verify_with_abstraction,
+)
+from repro.config import Network, Prefix, parse_network
+from repro.netgen import (
+    datacenter_network,
+    fattree_network,
+    full_mesh_network,
+    ring_network,
+    wan_network,
+)
+from repro.routing import (
+    build_bgp_srp,
+    build_multiprotocol_srp,
+    build_ospf_srp,
+    build_rip_srp,
+    build_static_srp,
+)
+from repro.srp import SRP, Solution, solve
+from repro.topology import Graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bonsai",
+    "CompressionResult",
+    "CompressionSummary",
+    "NetworkAbstraction",
+    "build_abstract_srp",
+    "check_bgp_effective",
+    "check_cp_equivalence",
+    "check_effective",
+    "compute_abstraction",
+    "compute_data_plane",
+    "compute_forwarding_table",
+    "single_reachability_query",
+    "verify_all_pairs_reachability",
+    "verify_with_abstraction",
+    "Network",
+    "Prefix",
+    "parse_network",
+    "datacenter_network",
+    "fattree_network",
+    "full_mesh_network",
+    "ring_network",
+    "wan_network",
+    "build_bgp_srp",
+    "build_multiprotocol_srp",
+    "build_ospf_srp",
+    "build_rip_srp",
+    "build_static_srp",
+    "SRP",
+    "Solution",
+    "solve",
+    "Graph",
+    "__version__",
+]

@@ -1,0 +1,237 @@
+"""Effective-abstraction condition checks (§4.1, Figure 4).
+
+An *effective abstraction* must satisfy a collection of conditions that are
+local and cheap to verify, and that together imply CP-equivalence:
+
+* **dest-equivalence** -- the concrete destination (and only it) maps to
+  the abstract destination;
+* **∀∃-abstraction** -- every concrete edge has an abstract counterpart,
+  and for every abstract edge every concrete member of the source group has
+  an edge to *some* member of the target group;
+* **∀∀-abstraction** (BGP) -- concrete and abstract edges correspond in
+  both directions for *every* pair of members;
+* **transfer-equivalence** -- edges mapped together carry semantically
+  identical policies (checked here through the per-edge policy keys, which
+  are BDD identities in the full pipeline);
+* **orig-/drop-/rank-equivalence** -- properties of the attribute
+  abstraction ``h``; they hold by construction for the per-protocol ``h``
+  used in this library and are re-validated on sampled attributes by the
+  test-suite helpers in :mod:`repro.abstraction.equivalence`.
+
+These checks are what the refinement algorithm drives to "all satisfied";
+they are exposed separately so tests can exercise them on hand-built
+abstractions such as Figure 8's valid/invalid examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+from repro.abstraction.mapping import NetworkAbstraction
+from repro.srp.instance import SRP
+from repro.topology.graph import Edge, Graph, Node
+
+
+@dataclass
+class ConditionReport:
+    """The outcome of checking one abstraction condition."""
+
+    name: str
+    holds: bool
+    violations: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+@dataclass
+class EffectivenessReport:
+    """Aggregated result of all condition checks."""
+
+    conditions: List[ConditionReport] = field(default_factory=list)
+
+    @property
+    def is_effective(self) -> bool:
+        return all(condition.holds for condition in self.conditions)
+
+    def failed(self) -> List[ConditionReport]:
+        return [condition for condition in self.conditions if not condition.holds]
+
+    def summary(self) -> str:
+        parts = []
+        for condition in self.conditions:
+            status = "ok" if condition.holds else "VIOLATED"
+            parts.append(f"{condition.name}: {status}")
+        return ", ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Individual conditions
+# ----------------------------------------------------------------------
+def check_dest_equivalence(
+    abstraction: NetworkAbstraction, destination: Node, max_violations: int = 5
+) -> ConditionReport:
+    """The destination, and only the destination, maps to its abstract node."""
+    violations: List[str] = []
+    dest_abstract = abstraction.f(destination)
+    for node, abstract in abstraction.node_map.items():
+        if node != destination and abstract == dest_abstract:
+            violations.append(f"{node!r} shares the destination's abstract node")
+            if len(violations) >= max_violations:
+                break
+    return ConditionReport("dest-equivalence", not violations, violations)
+
+
+def check_forall_exists(
+    concrete_graph: Graph, abstraction: NetworkAbstraction, max_violations: int = 5
+) -> ConditionReport:
+    """The ∀∃-abstraction conditions (both directions of Figure 4)."""
+    violations: List[str] = []
+    abstract_graph = abstraction.abstract_graph
+    node_map = abstraction.node_map
+
+    # Condition 1: every concrete edge has an abstract counterpart.  This
+    # holds by construction when the abstract graph is induced from f, but
+    # the check matters for hand-built abstractions.
+    for u, v in concrete_graph.edges:
+        fu, fv = abstraction.base_of(node_map[u]), abstraction.base_of(node_map[v])
+        if fu == fv:
+            continue
+        if not any(
+            abstract_graph.has_edge(cu, cv)
+            for cu in abstraction.copies_of(fu)
+            for cv in abstraction.copies_of(fv)
+        ):
+            violations.append(f"concrete edge ({u!r}, {v!r}) has no abstract counterpart")
+            if len(violations) >= max_violations:
+                return ConditionReport("forall-exists", False, violations)
+
+    # Condition 2: for every abstract edge, every concrete member of the
+    # source group reaches some member of the target group.
+    groups: Dict[str, Set[Node]] = {}
+    for node, name in node_map.items():
+        groups.setdefault(name, set()).add(node)
+    for au, av in abstract_graph.edges:
+        base_u, base_v = abstraction.base_of(au), abstraction.base_of(av)
+        if base_u == base_v:
+            # Edges between split copies of the same base group have
+            # solution-dependent semantics (Theorem 4.5) and are validated
+            # by the BGP equivalence checker instead.
+            continue
+        members_u = groups.get(base_u, set())
+        members_v = groups.get(base_v, set())
+        for u in members_u:
+            if not any(concrete_graph.has_edge(u, v) for v in members_v):
+                violations.append(
+                    f"abstract edge ({au!r}, {av!r}): {u!r} has no edge into {base_v!r}"
+                )
+                if len(violations) >= max_violations:
+                    return ConditionReport("forall-exists", False, violations)
+    return ConditionReport("forall-exists", not violations, violations)
+
+
+def check_forall_forall(
+    concrete_graph: Graph, abstraction: NetworkAbstraction, max_violations: int = 5
+) -> ConditionReport:
+    """The ∀∀-abstraction condition required for BGP-effective abstractions."""
+    violations: List[str] = []
+    groups: Dict[str, Set[Node]] = {}
+    for node, name in abstraction.node_map.items():
+        groups.setdefault(name, set()).add(node)
+    for au, av in abstraction.abstract_graph.edges:
+        base_u, base_v = abstraction.base_of(au), abstraction.base_of(av)
+        if base_u == base_v:
+            continue
+        for u in groups.get(base_u, set()):
+            for v in groups.get(base_v, set()):
+                if not concrete_graph.has_edge(u, v):
+                    violations.append(
+                        f"abstract edge ({au!r}, {av!r}) but no concrete edge ({u!r}, {v!r})"
+                    )
+                    if len(violations) >= max_violations:
+                        return ConditionReport("forall-forall", False, violations)
+    return ConditionReport("forall-forall", not violations, violations)
+
+
+def check_transfer_equivalence(
+    srp: SRP,
+    abstraction: NetworkAbstraction,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+    max_violations: int = 5,
+) -> ConditionReport:
+    """Edges mapped to the same abstract edge must carry equal policy keys.
+
+    When ``policy_keys`` is omitted the SRP's own ``edge_policies`` are
+    used.  In the full Bonsai pipeline these keys are specialized BDD
+    identifiers, so key equality is semantic policy equality; with
+    syntactic keys the check is sound but may report spurious violations.
+    """
+    keys = policy_keys if policy_keys is not None else {
+        edge: srp.policy_key(edge) for edge in srp.graph.edges
+    }
+    by_abstract: Dict[Tuple[str, str], Set[Hashable]] = {}
+    witnesses: Dict[Tuple[str, str], Edge] = {}
+    violations: List[str] = []
+    for edge in srp.graph.edges:
+        abstract_edge = abstraction.f_edge(edge)
+        bucket = by_abstract.setdefault(abstract_edge, set())
+        bucket.add(keys[edge])
+        witnesses.setdefault(abstract_edge, edge)
+        if len(bucket) > 1:
+            violations.append(
+                f"abstract edge {abstract_edge!r} carries {len(bucket)} distinct policies "
+                f"(e.g. {witnesses[abstract_edge]!r} vs {edge!r})"
+            )
+            if len(violations) >= max_violations:
+                break
+    return ConditionReport("transfer-equivalence", not violations, violations)
+
+
+def check_self_loop_free(abstraction: NetworkAbstraction) -> ConditionReport:
+    """The abstract graph must not contain self loops (well-formedness)."""
+    loops = [(u, v) for u, v in abstraction.abstract_graph.edges if u == v]
+    violations = [f"abstract self loop at {u!r}" for u, _ in loops]
+    return ConditionReport("abstract-self-loop-free", not violations, violations)
+
+
+# ----------------------------------------------------------------------
+# Aggregate checks
+# ----------------------------------------------------------------------
+def check_effective(
+    srp: SRP,
+    abstraction: NetworkAbstraction,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+) -> EffectivenessReport:
+    """Check all conditions of an (ordinary) effective abstraction."""
+    return EffectivenessReport(
+        conditions=[
+            check_dest_equivalence(abstraction, srp.destination),
+            check_forall_exists(srp.graph, abstraction),
+            check_transfer_equivalence(srp, abstraction, policy_keys),
+            check_self_loop_free(abstraction),
+        ]
+    )
+
+
+def check_bgp_effective(
+    srp: SRP,
+    abstraction: NetworkAbstraction,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+) -> EffectivenessReport:
+    """Check the conditions of a BGP-effective abstraction.
+
+    Note that transfer-approx (transfer-equivalence modulo loop prevention)
+    is discharged through the policy keys: the keys are computed from the
+    configured policies, which do not include the loop-prevention check, so
+    key equality is exactly transfer-approx.
+    """
+    return EffectivenessReport(
+        conditions=[
+            check_dest_equivalence(abstraction, srp.destination),
+            check_forall_exists(srp.graph, abstraction),
+            check_forall_forall(srp.graph, abstraction),
+            check_transfer_equivalence(srp, abstraction, policy_keys),
+            check_self_loop_free(abstraction),
+        ]
+    )

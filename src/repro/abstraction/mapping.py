@@ -1,0 +1,152 @@
+"""Network abstractions: the pair of functions ``(f, h)`` (§4).
+
+A :class:`NetworkAbstraction` records the topology function ``f`` mapping
+concrete nodes to abstract nodes, together with the protocol whose
+attribute abstraction plays the role of ``h``.  It also materialises the
+abstract topology induced by ``f`` and provides the inverse views the
+condition checkers and the equivalence checker need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.topology.graph import Edge, Graph, Node
+
+
+@dataclass
+class NetworkAbstraction:
+    """The topology abstraction ``f`` plus supporting views.
+
+    Attributes
+    ----------
+    node_map:
+        The function ``f`` as a dictionary from concrete to abstract node
+        names.
+    abstract_graph:
+        The abstract topology: one node per abstract name, an edge
+        ``(û, v̂)`` whenever some concrete edge maps onto it.
+    protocol:
+        The protocol object providing the attribute abstraction ``h``
+        (may be ``None`` for purely topological uses).
+    split_groups:
+        For BGP case splitting: maps each *base* abstract node name to the
+        tuple of its copies in the final abstraction (empty if no splitting
+        happened).  Concrete nodes in ``node_map`` point at base names; the
+        copies share the base's concrete nodes.
+    """
+
+    node_map: Dict[Node, str]
+    abstract_graph: Graph
+    protocol: Any = None
+    split_groups: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_node_map(
+        cls,
+        concrete_graph: Graph,
+        node_map: Dict[Node, str],
+        protocol: Any = None,
+        split_groups: Optional[Dict[str, Tuple[str, ...]]] = None,
+    ) -> "NetworkAbstraction":
+        """Build the abstraction induced by ``node_map`` on ``concrete_graph``."""
+        missing = [node for node in concrete_graph.nodes if node not in node_map]
+        if missing:
+            raise ValueError(f"node map missing concrete nodes: {missing}")
+        abstract = Graph()
+        split_groups = dict(split_groups or {})
+
+        def copies(base: str) -> Tuple[str, ...]:
+            return split_groups.get(base, (base,))
+
+        for node in concrete_graph.nodes:
+            for copy in copies(node_map[node]):
+                abstract.add_node(copy)
+        for u, v in concrete_graph.edges:
+            for cu in copies(node_map[u]):
+                for cv in copies(node_map[v]):
+                    if cu != cv:
+                        abstract.add_edge(cu, cv)
+        return cls(
+            node_map=dict(node_map),
+            abstract_graph=abstract,
+            protocol=protocol,
+            split_groups=split_groups,
+        )
+
+    # ------------------------------------------------------------------
+    # The function f and its inverse
+    # ------------------------------------------------------------------
+    def f(self, node: Node) -> str:
+        """Apply the topology function to a concrete node."""
+        return self.node_map[node]
+
+    def f_edge(self, edge: Edge) -> Tuple[str, str]:
+        """Apply ``f`` to a concrete edge."""
+        u, v = edge
+        return (self.node_map[u], self.node_map[v])
+
+    def f_path(self, path) -> Tuple[str, ...]:
+        """Apply ``f`` to a path of concrete nodes."""
+        return tuple(self.node_map[node] for node in path)
+
+    def concrete_nodes(self, abstract_node: str) -> FrozenSet[Node]:
+        """The concrete nodes mapped to ``abstract_node`` (or to its base,
+        for split copies)."""
+        base = self.base_of(abstract_node)
+        return frozenset(
+            node for node, name in self.node_map.items() if name == base
+        )
+
+    def base_of(self, abstract_node: str) -> str:
+        """The pre-split abstract node a split copy belongs to."""
+        for base, copies in self.split_groups.items():
+            if abstract_node in copies:
+                return base
+        return abstract_node
+
+    def copies_of(self, base: str) -> Tuple[str, ...]:
+        """The split copies of a base abstract node (itself if unsplit)."""
+        return self.split_groups.get(base, (base,))
+
+    # ------------------------------------------------------------------
+    # The attribute abstraction h
+    # ------------------------------------------------------------------
+    def h(self, attribute: Any) -> Any:
+        """Apply the attribute abstraction induced by the protocol and ``f``."""
+        if self.protocol is None:
+            return attribute
+        return self.protocol.abstract_attribute(attribute, self.f)
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    def num_abstract_nodes(self) -> int:
+        return self.abstract_graph.num_nodes()
+
+    def num_abstract_edges(self) -> int:
+        return self.abstract_graph.num_undirected_edges()
+
+    def compression_ratio(self, concrete_graph: Graph) -> Tuple[float, float]:
+        """(node ratio, edge ratio) between concrete and abstract networks."""
+        nodes = concrete_graph.num_nodes() / max(1, self.num_abstract_nodes())
+        concrete_edges = concrete_graph.num_undirected_edges()
+        abstract_edges = max(1, self.num_abstract_edges())
+        return (nodes, concrete_edges / abstract_edges)
+
+    def groups(self) -> List[FrozenSet[Node]]:
+        """The partition of concrete nodes induced by ``f`` (base groups)."""
+        buckets: Dict[str, Set[Node]] = {}
+        for node, name in self.node_map.items():
+            buckets.setdefault(name, set()).add(node)
+        return [frozenset(members) for members in buckets.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"NetworkAbstraction(abstract_nodes={self.num_abstract_nodes()}, "
+            f"abstract_edges={self.num_abstract_edges()})"
+        )

@@ -1,0 +1,241 @@
+"""The abstraction-refinement algorithm (Algorithm 1, §5).
+
+Starting from the coarsest possible abstraction -- the destination alone in
+one abstract node, everything else in another -- the algorithm repeatedly
+splits abstract nodes whose members disagree on either
+
+* the policies they apply on their edges (transfer-equivalence), or
+* the abstract (respectively concrete, for BGP nodes with several local
+  preference values) neighbours those edges lead to (the topological
+  ∀∃ / ∀∀ conditions),
+
+until a full pass makes no progress.  Finally, abstract nodes whose members
+can assign more than one local-preference value are split into one copy per
+value (Theorem 4.4), which is what lets the compressed network represent
+every forwarding behaviour BGP loop prevention can force.
+
+The algorithm is purely structural: it needs the topology, a canonical
+policy key per edge (a BDD identifier in the full pipeline, or a syntactic
+key), and the per-node local-preference sets.  It never simulates the
+network.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.abstraction.mapping import NetworkAbstraction
+from repro.abstraction.partition import UnionSplitFind
+from repro.srp.instance import SRP
+from repro.topology.graph import Edge, Graph, Node
+
+
+@dataclass
+class RefinementResult:
+    """The outcome of running abstraction refinement on one SRP."""
+
+    abstraction: NetworkAbstraction
+    partition: UnionSplitFind
+    iterations: int
+    elapsed_seconds: float
+    split_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_abstract_nodes(self) -> int:
+        return self.abstraction.num_abstract_nodes()
+
+    @property
+    def num_abstract_edges(self) -> int:
+        return self.abstraction.num_abstract_edges()
+
+
+def _node_prefs(srp: SRP, nodes: FrozenSet[Node]) -> FrozenSet[int]:
+    """The union of local-preference values over a group of concrete nodes."""
+    values = set()
+    for node in nodes:
+        values.update(srp.prefs(node))
+    return frozenset(values)
+
+
+def _refine_group(
+    graph: Graph,
+    policy_keys: Dict[Edge, Hashable],
+    partition: UnionSplitFind,
+    group: int,
+    use_concrete_neighbours: bool,
+) -> int:
+    """One call of the paper's ``Refine`` procedure on one abstract node.
+
+    Each member node is summarised by the set of ``(policy, neighbour)``
+    pairs over its outgoing edges, where ``neighbour`` is the concrete
+    neighbour for BGP nodes with several local preferences (enforcing the
+    ∀∀ condition) and the neighbour's abstract node otherwise (the ∀∃
+    condition).  Members with different summaries are split apart.
+
+    Returns the number of new groups created.
+    """
+    members = partition.members(group)
+    signature: Dict[Node, Hashable] = {}
+    for node in members:
+        pairs = set()
+        for edge in graph.out_edges(node):
+            _, neighbour = edge
+            policy = policy_keys.get(edge, ("default",))
+            target = neighbour if use_concrete_neighbours else partition.find(neighbour)
+            pairs.add(("out", policy, target))
+        # Also summarise the node's incoming edges.  The policy key of an
+        # edge (w, u) contains u's *export* policy towards w, so without
+        # this, two nodes whose own export policies differ could be merged
+        # and violate transfer-equivalence.
+        for edge in graph.in_edges(node):
+            source, _ = edge
+            policy = policy_keys.get(edge, ("default",))
+            origin = source if use_concrete_neighbours else partition.find(source)
+            pairs.add(("in", policy, origin))
+        signature[node] = frozenset(pairs)
+    new_groups = partition.split_by_key(group, signature)
+    return len(new_groups) - 1
+
+
+def find_abstraction_partition(
+    srp: SRP,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+    max_iterations: int = 10_000,
+) -> Tuple[UnionSplitFind, int]:
+    """Compute the pre-split partition (Algorithm 1 up to the fixed point).
+
+    Returns the partition and the number of refinement passes performed.
+    """
+    graph = srp.graph
+    keys = policy_keys if policy_keys is not None else {
+        edge: srp.policy_key(edge) for edge in graph.edges
+    }
+
+    partition = UnionSplitFind(graph.nodes)
+    partition.split({srp.destination})
+
+    iterations = 0
+    for _ in range(max_iterations):
+        iterations += 1
+        before = partition.num_groups()
+        for group in list(partition.groups()):
+            members = partition.members(group)
+            if len(members) <= 1:
+                continue
+            prefs = _node_prefs(srp, members)
+            _refine_group(
+                graph,
+                keys,
+                partition,
+                group,
+                use_concrete_neighbours=len(prefs) > 1,
+            )
+        if partition.num_groups() == before:
+            # Fixed point of the signature-based refinement.  Verify
+            # transfer-equivalence explicitly and split any group whose
+            # members still disagree on the policy towards some abstract
+            # neighbour (possible with parallel edges of mixed policy);
+            # continue refining if that created new groups.
+            if not _split_transfer_violations(graph, keys, partition):
+                break
+    return partition, iterations
+
+
+def _split_transfer_violations(
+    graph: Graph, policy_keys: Dict[Edge, Hashable], partition: UnionSplitFind
+) -> int:
+    """Split groups whose members apply different policies towards the same
+    abstract neighbour group.  Returns the number of new groups created."""
+    created = 0
+    for group in list(partition.groups()):
+        members = partition.members(group)
+        if len(members) <= 1:
+            continue
+        signature: Dict[Node, Hashable] = {}
+        for node in members:
+            per_target: Dict[int, set] = {}
+            for edge in graph.out_edges(node):
+                _, neighbour = edge
+                per_target.setdefault(partition.find(neighbour), set()).add(
+                    policy_keys.get(edge, ("default",))
+                )
+            signature[node] = frozenset(
+                (target, frozenset(keys)) for target, keys in per_target.items()
+            )
+        created += len(partition.split_by_key(group, signature)) - 1
+    return created
+
+
+def split_into_bgp_cases(
+    srp: SRP, partition: UnionSplitFind
+) -> Dict[str, Tuple[str, ...]]:
+    """The final ``SplitIntoBGPCases`` step of Algorithm 1.
+
+    Every abstract node whose members can assign ``k > 1`` local-preference
+    values is split into ``min(k, |members|)`` copies; the mapping of
+    concrete nodes to copies is solution-dependent (Theorem 4.5), so the
+    copies share the base group's concrete members.
+
+    Returns the ``split_groups`` dictionary consumed by
+    :class:`~repro.abstraction.mapping.NetworkAbstraction`.
+    """
+    names = partition.canonical_names()
+    base_of_group: Dict[int, str] = {}
+    for node, name in names.items():
+        base_of_group[partition.find(node)] = name
+
+    split_groups: Dict[str, Tuple[str, ...]] = {}
+    for group in partition.groups():
+        members = partition.members(group)
+        prefs = _node_prefs(srp, members)
+        copies_needed = min(len(prefs), len(members))
+        if copies_needed <= 1 or srp.destination in members:
+            continue
+        base = base_of_group[group]
+        split_groups[base] = tuple(
+            f"{base}_case{i}" for i in range(copies_needed)
+        )
+    return split_groups
+
+
+def compute_abstraction(
+    srp: SRP,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+    bgp_case_split: bool = True,
+    max_iterations: int = 10_000,
+) -> RefinementResult:
+    """Run the complete compression algorithm on one SRP.
+
+    Parameters
+    ----------
+    policy_keys:
+        Canonical per-edge policy keys.  Defaults to the SRP's own
+        ``edge_policies`` (syntactic keys); pass the specialized BDD keys
+        from :class:`repro.bdd.policy.PolicyBddEncoder` for the full
+        pipeline.
+    bgp_case_split:
+        Whether to perform the final local-preference case splitting.
+        Disabling it reproduces the *unsound* naive abstraction of
+        Figure 2(b) and is used by tests and the ablation benchmarks.
+    """
+    start = time.perf_counter()
+    partition, iterations = find_abstraction_partition(srp, policy_keys, max_iterations)
+    split_groups = split_into_bgp_cases(srp, partition) if bgp_case_split else {}
+    names = partition.canonical_names()
+    abstraction = NetworkAbstraction.from_node_map(
+        srp.graph,
+        names,
+        protocol=srp.protocol,
+        split_groups=split_groups,
+    )
+    elapsed = time.perf_counter() - start
+    split_counts = {base: len(copies) for base, copies in split_groups.items()}
+    return RefinementResult(
+        abstraction=abstraction,
+        partition=partition,
+        iterations=iterations,
+        elapsed_seconds=elapsed,
+        split_counts=split_counts,
+    )

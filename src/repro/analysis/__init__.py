@@ -1,0 +1,53 @@
+"""Downstream analyses run on concrete or compressed networks."""
+
+from repro.analysis.dataplane import (
+    DataPlane,
+    ForwardingTable,
+    compute_data_plane,
+    compute_forwarding_table,
+    forwarding_table_from_solution,
+)
+from repro.analysis.properties import (
+    PropertyResult,
+    check_all_paths_reach,
+    check_black_hole,
+    check_multipath_consistency,
+    check_path_length,
+    check_reachability,
+    check_routing_loop,
+    check_waypointing,
+    path_lengths,
+    reachable_sources,
+)
+from repro.analysis.verifier import (
+    ReachabilityMatrix,
+    VerificationResult,
+    VerificationTimeout,
+    single_reachability_query,
+    verify_all_pairs_reachability,
+    verify_with_abstraction,
+)
+
+__all__ = [
+    "DataPlane",
+    "ForwardingTable",
+    "compute_data_plane",
+    "compute_forwarding_table",
+    "forwarding_table_from_solution",
+    "PropertyResult",
+    "check_all_paths_reach",
+    "check_black_hole",
+    "check_multipath_consistency",
+    "check_path_length",
+    "check_reachability",
+    "check_routing_loop",
+    "check_waypointing",
+    "path_lengths",
+    "reachable_sources",
+    "ReachabilityMatrix",
+    "VerificationResult",
+    "VerificationTimeout",
+    "single_reachability_query",
+    "verify_all_pairs_reachability",
+    "verify_with_abstraction",
+]

@@ -1,0 +1,173 @@
+"""Control-plane simulation to a data plane (the Batfish-style substrate).
+
+Downstream analyses (reachability queries, the verification benchmarks)
+need the forwarding state a network converges to.  This module simulates
+the control plane of a configured network -- per destination equivalence
+class -- and materialises per-destination forwarding tables, applying the
+configured data-plane ACLs on the forwarding edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.transfer import VIRTUAL_DESTINATION, build_srp_from_network
+from repro.srp.solution import Solution
+from repro.srp.solver import solve
+from repro.topology.graph import Edge, Node
+
+
+@dataclass
+class ForwardingTable:
+    """Per-destination forwarding state of the whole network.
+
+    ``next_hops[node]`` is the set of neighbours ``node`` forwards traffic
+    for the destination to; an empty set means the traffic is dropped
+    (no route, or every forwarding edge blocked by an ACL).
+    """
+
+    destination: Prefix
+    origins: Set[Node]
+    next_hops: Dict[Node, Set[Node]] = field(default_factory=dict)
+    acl_blocked: Set[Edge] = field(default_factory=set)
+
+    def forwards_to(self, node: Node) -> Set[Node]:
+        return self.next_hops.get(node, set())
+
+    def delivers(self, node: Node) -> bool:
+        """Whether the destination is attached at ``node``."""
+        return node in self.origins
+
+    def reachable(self, source: Node, max_hops: int = 10_000) -> bool:
+        """Whether traffic from ``source`` reaches an originating device."""
+        return self.path_outcome(source, max_hops)[0] == "delivered"
+
+    def path_outcome(self, source: Node, max_hops: int = 10_000) -> Tuple[str, List[Node]]:
+        """Follow forwarding from ``source``.
+
+        Returns ``(outcome, path)`` where outcome is ``"delivered"``,
+        ``"blackhole"`` (dropped), or ``"loop"``.  Multipath forwarding is
+        followed along the lexicographically smallest next hop; use
+        :meth:`all_paths` for the full set.
+        """
+        path = [source]
+        node = source
+        for _ in range(max_hops):
+            if self.delivers(node):
+                return "delivered", path
+            hops = sorted(self.forwards_to(node), key=str)
+            if not hops:
+                return "blackhole", path
+            node = hops[0]
+            if node in path:
+                path.append(node)
+                return "loop", path
+            path.append(node)
+        return "loop", path
+
+    def all_paths(self, source: Node, max_paths: int = 1000) -> List[List[Node]]:
+        """Every forwarding path (under multipath) from ``source``."""
+        results: List[List[Node]] = []
+
+        def walk(node: Node, path: List[Node]) -> None:
+            if len(results) >= max_paths:
+                return
+            if self.delivers(node):
+                results.append(path)
+                return
+            hops = sorted(self.forwards_to(node), key=str)
+            if not hops:
+                results.append(path)
+                return
+            for nxt in hops:
+                if nxt in path:
+                    results.append(path + [nxt])
+                    continue
+                walk(nxt, path + [nxt])
+
+        walk(source, [source])
+        return results
+
+
+@dataclass
+class DataPlane:
+    """The forwarding tables of a network, one per destination class."""
+
+    network: Network
+    tables: Dict[Prefix, ForwardingTable] = field(default_factory=dict)
+
+    def table_for(self, destination: Prefix) -> Optional[ForwardingTable]:
+        """The forwarding table whose class covers ``destination``."""
+        best: Optional[ForwardingTable] = None
+        for prefix, table in self.tables.items():
+            if prefix.contains(destination) or destination.contains(prefix):
+                if best is None or prefix.length > best.destination.length:
+                    best = table
+        return best
+
+    def reachable(self, source: Node, destination: Prefix) -> bool:
+        table = self.table_for(destination)
+        return table is not None and table.reachable(source)
+
+
+def forwarding_table_from_solution(
+    network: Network,
+    solution: Solution,
+    equivalence_class: EquivalenceClass,
+) -> ForwardingTable:
+    """Extract a forwarding table from a solved SRP, applying ACLs."""
+    prefix = equivalence_class.prefix
+    next_hops: Dict[Node, Set[Node]] = {}
+    blocked: Set[Edge] = set()
+    for node in solution.srp.graph.nodes:
+        if node == VIRTUAL_DESTINATION:
+            continue
+        hops: Set[Node] = set()
+        for _, neighbour in solution.forwarding_edges(node):
+            if neighbour == VIRTUAL_DESTINATION:
+                continue
+            device = network.devices.get(node)
+            allowed = True
+            if device is not None:
+                acl_name = device.interface_acls.get(neighbour)
+                if acl_name and acl_name in device.acls:
+                    allowed = device.acls[acl_name].permits(prefix)
+            if allowed:
+                hops.add(neighbour)
+            else:
+                blocked.add((node, neighbour))
+        next_hops[node] = hops
+    return ForwardingTable(
+        destination=prefix,
+        origins=set(equivalence_class.origins),
+        next_hops=next_hops,
+        acl_blocked=blocked,
+    )
+
+
+def compute_forwarding_table(
+    network: Network, equivalence_class: EquivalenceClass
+) -> ForwardingTable:
+    """Simulate the control plane for one class and extract forwarding."""
+    srp = build_srp_from_network(
+        network, equivalence_class.prefix, set(equivalence_class.origins)
+    )
+    solution = solve(srp)
+    return forwarding_table_from_solution(network, solution, equivalence_class)
+
+
+def compute_data_plane(
+    network: Network, limit: Optional[int] = None
+) -> DataPlane:
+    """Simulate every destination class of the network (Batfish-style)."""
+    data_plane = DataPlane(network=network)
+    classes = routable_equivalence_classes(network)
+    if limit is not None:
+        classes = classes[:limit]
+    for ec in classes:
+        data_plane.tables[ec.prefix] = compute_forwarding_table(network, ec)
+    return data_plane

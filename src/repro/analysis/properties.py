@@ -1,0 +1,128 @@
+"""Path properties preserved by CP-equivalence (§4.4).
+
+Each checker below takes a :class:`~repro.analysis.dataplane.ForwardingTable`
+(or an SRP solution) and decides one of the properties the paper lists as
+preserved by effective abstractions: reachability, path length, black
+holes, multipath consistency, waypointing, and routing loops.  Running the
+same checker on the concrete and compressed networks must give the same
+answer -- that is exactly what the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.dataplane import ForwardingTable
+from repro.topology.graph import Node
+
+
+@dataclass(frozen=True)
+class PropertyResult:
+    """Outcome of evaluating a property, with a witness path if relevant."""
+
+    holds: bool
+    witness: Optional[tuple] = None
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.holds
+
+
+def check_reachability(table: ForwardingTable, source: Node) -> PropertyResult:
+    """Does traffic from ``source`` reach the destination?"""
+    outcome, path = table.path_outcome(source)
+    return PropertyResult(
+        holds=outcome == "delivered",
+        witness=tuple(path),
+        detail=f"{source!r}: {outcome}",
+    )
+
+
+def check_all_paths_reach(table: ForwardingTable, source: Node) -> PropertyResult:
+    """Do *all* multipath forwarding paths from ``source`` deliver traffic?"""
+    paths = table.all_paths(source)
+    for path in paths:
+        last = path[-1]
+        if not table.delivers(last):
+            return PropertyResult(False, tuple(path), "some path fails to deliver")
+    return PropertyResult(True, None, f"{len(paths)} paths deliver")
+
+
+def check_path_length(
+    table: ForwardingTable, source: Node, expected_length: int
+) -> PropertyResult:
+    """Do all forwarding paths from ``source`` have the expected hop count?"""
+    paths = table.all_paths(source)
+    for path in paths:
+        if not table.delivers(path[-1]):
+            continue
+        if len(path) - 1 != expected_length:
+            return PropertyResult(
+                False, tuple(path), f"path has length {len(path) - 1}, expected {expected_length}"
+            )
+    return PropertyResult(True, None, "all delivered paths match the expected length")
+
+
+def path_lengths(table: ForwardingTable, source: Node) -> Set[int]:
+    """The set of delivered-path lengths from ``source``."""
+    return {
+        len(path) - 1
+        for path in table.all_paths(source)
+        if table.delivers(path[-1])
+    }
+
+
+def check_black_hole(table: ForwardingTable, source: Node) -> PropertyResult:
+    """Is there a forwarding path from ``source`` that ends in a drop?"""
+    for path in table.all_paths(source):
+        last = path[-1]
+        if not table.delivers(last) and len(set(path)) == len(path):
+            return PropertyResult(True, tuple(path), "black hole reached")
+    return PropertyResult(False, None, "no black hole reachable")
+
+
+def check_multipath_consistency(table: ForwardingTable, source: Node) -> PropertyResult:
+    """Multipath consistency: either all paths deliver or all drop.
+
+    The property *fails* when traffic from the source is delivered along
+    some path but dropped along another (the inconsistency the paper's
+    property describes); the result's ``holds`` is True when the behaviour
+    is consistent.
+    """
+    paths = table.all_paths(source)
+    outcomes = set()
+    for path in paths:
+        outcomes.add(table.delivers(path[-1]))
+    if len(outcomes) <= 1:
+        return PropertyResult(True, None, "consistent")
+    witness = next(path for path in paths if not table.delivers(path[-1]))
+    return PropertyResult(False, tuple(witness), "delivered on some paths, dropped on others")
+
+
+def check_waypointing(
+    table: ForwardingTable, source: Node, waypoints: Iterable[Node]
+) -> PropertyResult:
+    """Does every delivered path from ``source`` traverse one of ``waypoints``?"""
+    waypoint_set = set(waypoints)
+    for path in table.all_paths(source):
+        if not table.delivers(path[-1]):
+            continue
+        if not waypoint_set & set(path):
+            return PropertyResult(False, tuple(path), "path avoids all waypoints")
+    return PropertyResult(True, None, "all delivered paths traverse a waypoint")
+
+
+def check_routing_loop(table: ForwardingTable, sources: Optional[Sequence[Node]] = None) -> PropertyResult:
+    """Is there a forwarding loop reachable from any source?"""
+    nodes = sources if sources is not None else sorted(table.next_hops, key=str)
+    for source in nodes:
+        outcome, path = table.path_outcome(source)
+        if outcome == "loop":
+            return PropertyResult(True, tuple(path), f"loop reachable from {source!r}")
+    return PropertyResult(False, None, "no forwarding loop")
+
+
+def reachable_sources(table: ForwardingTable) -> Set[Node]:
+    """All nodes whose traffic reaches the destination."""
+    return {node for node in table.next_hops if table.reachable(node)}

@@ -1,0 +1,123 @@
+"""Bit-vector helpers on top of the BDD manager.
+
+Routing policies mention numeric quantities: 32-bit destination prefixes,
+prefix lengths, local-preference values.  This module provides helpers to
+declare a block of BDD variables representing such a quantity and to build
+constraints (equality with a constant, range membership, prefix match) over
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.bdd.manager import BddManager, FALSE, TRUE
+
+
+@dataclass
+class BitVector:
+    """A fixed-width unsigned bit-vector mapped onto BDD variables.
+
+    ``variables[0]`` is the most-significant bit, which keeps prefix-match
+    constraints compact (a /k prefix constrains only the first k bits).
+    """
+
+    manager: BddManager
+    name: str
+    variables: List[int]
+
+    @property
+    def width(self) -> int:
+        return len(self.variables)
+
+    @classmethod
+    def declare(cls, manager: BddManager, name: str, width: int) -> "BitVector":
+        """Declare ``width`` fresh variables ``name[0] .. name[width-1]``."""
+        if width <= 0:
+            raise ValueError("bit-vector width must be positive")
+        variables = [manager.add_var(f"{name}[{i}]") for i in range(width)]
+        return cls(manager=manager, name=name, variables=variables)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+    def equals_constant(self, value: int) -> int:
+        """BDD of ``self == value``."""
+        if value < 0 or value >= (1 << self.width):
+            raise ValueError(f"{value} does not fit in {self.width} bits")
+        node = TRUE
+        for position, var in enumerate(self.variables):
+            bit = (value >> (self.width - 1 - position)) & 1
+            literal = self.manager.var(var) if bit else self.manager.nvar(var)
+            node = self.manager.apply_and(node, literal)
+        return node
+
+    def matches_prefix(self, value: int, prefix_len: int) -> int:
+        """BDD of "the top ``prefix_len`` bits equal those of ``value``"."""
+        if prefix_len < 0 or prefix_len > self.width:
+            raise ValueError("prefix length out of range")
+        node = TRUE
+        for position in range(prefix_len):
+            var = self.variables[position]
+            bit = (value >> (self.width - 1 - position)) & 1
+            literal = self.manager.var(var) if bit else self.manager.nvar(var)
+            node = self.manager.apply_and(node, literal)
+        return node
+
+    def less_or_equal(self, value: int) -> int:
+        """BDD of ``self <= value`` (unsigned)."""
+        if value >= (1 << self.width) - 1:
+            return TRUE
+        if value < 0:
+            return FALSE
+        # Walk bits from most significant: either strictly less at this bit,
+        # or equal and constrained below.
+        node = TRUE
+        for position in reversed(range(self.width)):
+            var = self.variables[position]
+            bit = (value >> (self.width - 1 - position)) & 1
+            if bit:
+                # 0 here makes us strictly less regardless of lower bits.
+                node = self.manager.ite(self.manager.var(var), node, TRUE)
+            else:
+                node = self.manager.ite(self.manager.var(var), FALSE, node)
+        return node
+
+    def greater_or_equal(self, value: int) -> int:
+        """BDD of ``self >= value`` (unsigned)."""
+        if value <= 0:
+            return TRUE
+        node = TRUE
+        for position in reversed(range(self.width)):
+            var = self.variables[position]
+            bit = (value >> (self.width - 1 - position)) & 1
+            if bit:
+                node = self.manager.ite(self.manager.var(var), node, FALSE)
+            else:
+                node = self.manager.ite(self.manager.var(var), TRUE, node)
+        return node
+
+    def in_range(self, low: int, high: int) -> int:
+        """BDD of ``low <= self <= high`` (unsigned, inclusive)."""
+        return self.manager.apply_and(self.greater_or_equal(low), self.less_or_equal(high))
+
+    # ------------------------------------------------------------------
+    # Assignments
+    # ------------------------------------------------------------------
+    def assignment_for(self, value: int) -> Dict[int, bool]:
+        """A variable assignment setting this vector to ``value``."""
+        if value < 0 or value >= (1 << self.width):
+            raise ValueError(f"{value} does not fit in {self.width} bits")
+        return {
+            var: bool((value >> (self.width - 1 - position)) & 1)
+            for position, var in enumerate(self.variables)
+        }
+
+    def decode(self, assignment: Dict[int, bool]) -> int:
+        """Read this vector's value out of a (total) assignment."""
+        value = 0
+        for position, var in enumerate(self.variables):
+            if assignment.get(var, False):
+                value |= 1 << (self.width - 1 - position)
+        return value

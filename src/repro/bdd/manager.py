@@ -1,0 +1,331 @@
+"""A reduced ordered binary decision diagram (ROBDD) engine.
+
+Bonsai encodes every interface's routing policy as a BDD so that checking
+whether two interfaces have semantically equivalent transfer functions is a
+constant-time pointer comparison (§5.1).  The original implementation uses
+JavaBDD; this module is a from-scratch pure-Python replacement providing
+the operations Bonsai needs:
+
+* hash-consed node creation (canonical representation),
+* memoised ``ite`` / ``apply`` operations (and, or, not, xor, implies, iff),
+* ``restrict`` (cofactor) used to *specialize* policies to a destination,
+* existential quantification, support computation, satisfiability counts
+  and model enumeration (used by tests and the data-plane encoding).
+
+Nodes are identified by integers.  ``0`` and ``1`` are the terminal FALSE
+and TRUE nodes.  Because nodes are hash-consed, two functions are
+semantically equal iff their node ids are equal -- which is exactly the
+property the compression algorithm exploits.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Terminal node ids.
+FALSE = 0
+TRUE = 1
+
+
+class BddError(Exception):
+    """Raised for invalid BDD operations (unknown variables, bad node ids)."""
+
+
+class BddManager:
+    """Manager owning a shared, hash-consed node store.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables to pre-declare.  More can be added later with
+        :meth:`add_var`; variable order is the declaration order.
+    """
+
+    def __init__(self, num_vars: int = 0):
+        # Node storage: parallel arrays var/low/high indexed by node id.
+        # Terminals use variable index "infinity" so they sort after all
+        # decision variables.
+        self._var: List[int] = [sys.maxsize, sys.maxsize]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._var_names: List[str] = []
+        for i in range(num_vars):
+            self.add_var(f"x{i}")
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable (appended last in the order); returns its index."""
+        index = len(self._var_names)
+        self._var_names.append(name if name is not None else f"x{index}")
+        return index
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    def var_name(self, index: int) -> str:
+        return self._var_names[index]
+
+    def var_index(self, name: str) -> int:
+        try:
+            return self._var_names.index(name)
+        except ValueError as exc:
+            raise BddError(f"unknown variable {name!r}") from exc
+
+    def num_nodes(self) -> int:
+        """Total number of nodes allocated (including terminals)."""
+        return len(self._var)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _make_node(self, var: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._var)
+            self._var.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def var(self, index: int) -> int:
+        """The BDD for the single variable ``index``."""
+        if index < 0 or index >= self.num_vars:
+            raise BddError(f"variable index {index} out of range")
+        return self._make_node(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD for the negation of variable ``index``."""
+        if index < 0 or index >= self.num_vars:
+            raise BddError(f"variable index {index} out of range")
+        return self._make_node(index, TRUE, FALSE)
+
+    def top_var(self, node: int) -> int:
+        """The decision variable of ``node`` (terminals have no variable)."""
+        if node in (FALSE, TRUE):
+            raise BddError("terminal nodes have no variable")
+        return self._var[node]
+
+    def cofactors(self, node: int) -> Tuple[int, int]:
+        """The (low, high) children of ``node``."""
+        if node in (FALSE, TRUE):
+            return node, node
+        return self._low[node], self._high[node]
+
+    # ------------------------------------------------------------------
+    # Core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+
+        top = min(self._var[f], self._var[g], self._var[h])
+        f0, f1 = self._cofactor_at(f, top)
+        g0, g1 = self._cofactor_at(g, top)
+        h0, h1 = self._cofactor_at(h, top)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._make_node(top, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _cofactor_at(self, node: int, var: int) -> Tuple[int, int]:
+        if node in (FALSE, TRUE) or self._var[node] != var:
+            return node, node
+        return self._low[node], self._high[node]
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        return self.ite(f, FALSE, TRUE)
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def apply_iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, self.apply_not(g))
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """AND of an iterable of BDDs (TRUE for the empty iterable)."""
+        result = TRUE
+        for node in nodes:
+            result = self.apply_and(result, node)
+            if result == FALSE:
+                break
+        return result
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """OR of an iterable of BDDs (FALSE for the empty iterable)."""
+        result = FALSE
+        for node in nodes:
+            result = self.apply_or(result, node)
+            if result == TRUE:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Restriction / quantification
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``node`` with respect to a partial variable assignment.
+
+        This is the *specialize* operation of Algorithm 1: plugging the
+        destination's prefix bits into every policy BDD.
+        """
+        cache: Dict[int, int] = {}
+
+        def walk(n: int) -> int:
+            if n in (FALSE, TRUE):
+                return n
+            if n in cache:
+                return cache[n]
+            var = self._var[n]
+            low, high = self._low[n], self._high[n]
+            if var in assignment:
+                result = walk(high if assignment[var] else low)
+            else:
+                result = self._make_node(var, walk(low), walk(high))
+            cache[n] = result
+            return result
+
+        return walk(node)
+
+    def exists(self, node: int, variables: Iterable[int]) -> int:
+        """Existentially quantify ``variables`` out of ``node``."""
+        result = node
+        for var in sorted(set(variables), reverse=True):
+            result = self.apply_or(
+                self.restrict(result, {var: False}), self.restrict(result, {var: True})
+            )
+        return result
+
+    def forall(self, node: int, variables: Iterable[int]) -> int:
+        """Universally quantify ``variables`` out of ``node``."""
+        result = node
+        for var in sorted(set(variables), reverse=True):
+            result = self.apply_and(
+                self.restrict(result, {var: False}), self.restrict(result, {var: True})
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def support(self, node: int) -> List[int]:
+        """The variables the function actually depends on, in order."""
+        seen = set()
+        variables = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (FALSE, TRUE) or n in seen:
+                continue
+            seen.add(n)
+            variables.add(self._var[n])
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return sorted(variables)
+
+    def evaluate(self, node: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        n = node
+        while n not in (FALSE, TRUE):
+            var = self._var[n]
+            if var not in assignment:
+                raise BddError(f"assignment missing variable {self.var_name(var)}")
+            n = self._high[n] if assignment[var] else self._low[n]
+        return n == TRUE
+
+    def sat_count(self, node: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables."""
+        total_vars = num_vars if num_vars is not None else self.num_vars
+        cache: Dict[int, int] = {}
+
+        def count(n: int, level: int) -> int:
+            if n == FALSE:
+                return 0
+            if n == TRUE:
+                return 2 ** (total_vars - level)
+            key = n
+            if key in cache:
+                base = cache[key]
+            else:
+                var = self._var[n]
+                base = count(self._low[n], var + 1) + count(self._high[n], var + 1)
+                cache[key] = base
+            var = self._var[n]
+            return base * (2 ** (var - level))
+
+        return count(node, 0)
+
+    def satisfying_assignments(self, node: int) -> Iterator[Dict[int, bool]]:
+        """Iterate over partial satisfying assignments (one per BDD path)."""
+
+        def walk(n: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+            if n == FALSE:
+                return
+            if n == TRUE:
+                yield dict(partial)
+                return
+            var = self._var[n]
+            partial[var] = False
+            yield from walk(self._low[n], partial)
+            partial[var] = True
+            yield from walk(self._high[n], partial)
+            del partial[var]
+
+        yield from walk(node, {})
+
+    def size(self, node: int) -> int:
+        """Number of decision nodes reachable from ``node``."""
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (FALSE, TRUE) or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return len(seen)
+
+    def to_expression(self, node: int) -> str:
+        """A human-readable nested if-then-else expression (for debugging)."""
+        if node == FALSE:
+            return "false"
+        if node == TRUE:
+            return "true"
+        var = self.var_name(self._var[node])
+        low = self.to_expression(self._low[node])
+        high = self.to_expression(self._high[node])
+        return f"(if {var} then {high} else {low})"

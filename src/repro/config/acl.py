@@ -1,0 +1,58 @@
+"""Access control lists (§6, Practical Extensions).
+
+ACLs filter *data* packets on interfaces; they do not change which routes a
+router learns, but they do change where traffic can actually flow.  Bonsai
+conservatively folds the ACL (with respect to the destination under
+analysis) into the per-interface policy so that two routers are only merged
+when their ACLs treat the destination identically, preserving
+fwd-equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.config.prefix import Prefix
+
+
+@dataclass(frozen=True)
+class AclLine:
+    """One line of an ACL: permit or deny a destination prefix range."""
+
+    action: str
+    prefix: Prefix
+
+    def __post_init__(self) -> None:
+        if self.action not in ("permit", "deny"):
+            raise ValueError(f"invalid ACL action {self.action!r}")
+
+    def matches(self, destination: Prefix) -> bool:
+        """True if the line applies to traffic towards ``destination``."""
+        return self.prefix.contains(destination) or destination.contains(self.prefix)
+
+
+@dataclass(frozen=True)
+class Acl:
+    """A named, ordered access list (first match wins, implicit deny)."""
+
+    name: str
+    lines: Tuple[AclLine, ...] = ()
+    #: Real ACLs end in an implicit deny; tests sometimes want permit-any
+    #: semantics, so the default action is configurable.
+    default_action: str = "deny"
+
+    def __post_init__(self) -> None:
+        if self.default_action not in ("permit", "deny"):
+            raise ValueError(f"invalid ACL default action {self.default_action!r}")
+
+    def permits(self, destination: Prefix) -> bool:
+        """Whether traffic to ``destination`` is allowed through this ACL."""
+        for line in self.lines:
+            if line.matches(destination):
+                return line.action == "permit"
+        return self.default_action == "permit"
+
+
+#: An ACL that allows all traffic (absence of filtering).
+PERMIT_ALL_ACL = Acl(name="PERMIT-ALL", lines=(), default_action="permit")

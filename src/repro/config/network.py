@@ -1,0 +1,138 @@
+"""A configured network: topology plus per-device configurations.
+
+This is the unit Bonsai operates on: the concrete network whose control
+plane is to be compressed.  It bundles the physical topology with the
+:class:`~repro.config.device.DeviceConfig` of every device and provides
+the whole-network views the compression pipeline needs (community
+universe, unused communities, referenced prefixes, destination equivalence
+classes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.config.device import ConfigError, DeviceConfig
+from repro.config.prefix import Prefix, PrefixTrie
+from repro.topology.graph import Edge, Graph, Node
+
+
+@dataclass
+class Network:
+    """A topology together with the configuration of each device."""
+
+    graph: Graph
+    devices: Dict[str, DeviceConfig] = field(default_factory=dict)
+    name: str = "network"
+
+    def __post_init__(self) -> None:
+        for node in self.graph.nodes:
+            if node not in self.devices:
+                self.devices[node] = DeviceConfig(name=str(node))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Dangling references and topology/config mismatches."""
+        problems: List[str] = []
+        for device in self.devices.values():
+            problems.extend(device.validate())
+        for name, device in self.devices.items():
+            if not self.graph.has_node(name):
+                problems.append(f"device {name!r} is configured but not in the topology")
+                continue
+            neighbours = self.graph.successors(name)
+            for peer in device.bgp_neighbors:
+                if peer not in neighbours:
+                    problems.append(f"{name}: BGP neighbour {peer!r} is not adjacent")
+            for peer in device.ospf_links:
+                if peer not in neighbours:
+                    problems.append(f"{name}: OSPF link to {peer!r} is not adjacent")
+        return problems
+
+    def assert_valid(self) -> None:
+        problems = self.validate()
+        if problems:
+            raise ConfigError("; ".join(problems))
+
+    # ------------------------------------------------------------------
+    # Whole-network views
+    # ------------------------------------------------------------------
+    def device(self, name: Node) -> DeviceConfig:
+        return self.devices[name]
+
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def community_universe(self) -> FrozenSet[str]:
+        """Every community value mentioned (matched or set) anywhere."""
+        values: Set[str] = set()
+        for device in self.devices.values():
+            values |= device.matched_communities()
+            values |= device.set_communities()
+        return frozenset(values)
+
+    def unused_communities(self) -> FrozenSet[str]:
+        """Communities that are attached somewhere but never matched on.
+
+        The paper's real-network evaluation (§8) found that many apparent
+        role differences came from such irrelevant tags; the BGP attribute
+        abstraction strips them before comparing policies.
+        """
+        matched: Set[str] = set()
+        attached: Set[str] = set()
+        for device in self.devices.values():
+            matched |= device.matched_communities()
+            attached |= device.set_communities()
+        return frozenset(attached - matched)
+
+    def referenced_prefixes(self) -> FrozenSet[Prefix]:
+        prefixes: Set[Prefix] = set()
+        for device in self.devices.values():
+            prefixes |= device.referenced_prefixes()
+        return frozenset(prefixes)
+
+    def originators_of(self, prefix: Prefix) -> Set[str]:
+        """Devices originating a route that covers ``prefix``."""
+        return {name for name, device in self.devices.items() if device.originates(prefix)}
+
+    def total_config_lines(self) -> int:
+        """Approximate total configuration size (for reporting)."""
+        return sum(device.config_line_count() for device in self.devices.values())
+
+    # ------------------------------------------------------------------
+    # Destination equivalence classes (§5.1)
+    # ------------------------------------------------------------------
+    def destination_trie(self) -> PrefixTrie:
+        """A prefix trie of every originated prefix with its origin devices."""
+        trie = PrefixTrie()
+        for name, device in self.devices.items():
+            for prefix in device.originated_prefixes:
+                trie.insert(prefix, origins=[name])
+            for static in device.static_routes:
+                # A static route's destination is routable even if nobody
+                # originates it dynamically; record it with no origin so it
+                # still forms a class.
+                trie.insert(static.prefix)
+        return trie
+
+    def destination_equivalence_classes(self) -> List[Tuple[Prefix, Set[str]]]:
+        """The per-destination classes Bonsai builds one abstraction for."""
+        return [
+            (prefix, origins)
+            for prefix, origins in self.destination_trie().equivalence_classes()
+        ]
+
+    # ------------------------------------------------------------------
+    # Topology statistics used in the evaluation tables
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": self.graph.num_nodes(),
+            "edges": self.graph.num_undirected_edges(),
+            "directed_edges": self.graph.num_edges(),
+            "config_lines": self.total_config_lines(),
+            "equivalence_classes": len(self.destination_equivalence_classes()),
+        }

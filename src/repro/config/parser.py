@@ -1,0 +1,302 @@
+"""A small text format for configured networks, with parser and printer.
+
+The original Bonsai consumes real vendor configurations through Batfish.
+That frontend is out of scope here, but a textual format is still useful:
+it lets examples and tests describe networks declaratively and it exercises
+the same IR the generators produce.  The format is line-based and loosely
+Cisco-flavoured::
+
+    device r1
+      asn 65001
+      network 10.0.1.0/24
+      static-route 10.9.0.0/16 next-hop r2
+      ospf-link r2 cost 10 area 0
+      bgp-neighbor r2 import IMPORT-R2 export EXPORT-R2
+      community-list dept 65001:1 65001:2
+      prefix-list OWN permit 10.0.1.0/24
+      route-map IMPORT-R2 10 permit
+        match community dept
+        set community 65001:3
+        set local-preference 350
+      route-map IMPORT-R2 20 permit
+      acl BLOCK-WEB deny 10.1.0.0/16 default permit
+      interface-acl r2 BLOCK-WEB
+
+    link r1 r2
+
+Blank lines and ``#`` comments are ignored.  ``link`` lines add an
+undirected edge (both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.acl import Acl, AclLine
+from repro.config.device import (
+    BgpNeighborConfig,
+    DeviceConfig,
+    OspfLinkConfig,
+    StaticRouteConfig,
+)
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import (
+    CommunityList,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.topology.graph import Graph
+
+
+class ParseError(Exception):
+    """Raised on malformed network description text."""
+
+    def __init__(self, line_number: int, message: str):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _parse_keyword_args(tokens: List[str]) -> Dict[str, str]:
+    """Parse alternating ``key value`` pairs into a dictionary."""
+    if len(tokens) % 2 != 0:
+        raise ValueError("expected alternating key/value pairs")
+    return {tokens[i]: tokens[i + 1] for i in range(0, len(tokens), 2)}
+
+
+def parse_network(text: str, name: str = "network") -> Network:
+    """Parse a network description in the format documented above."""
+    graph = Graph()
+    devices: Dict[str, DeviceConfig] = {}
+    current_device: Optional[DeviceConfig] = None
+    # Route-map clauses are accumulated as mutable dicts until the whole
+    # file is read, because ``match``/``set`` lines follow the clause header.
+    pending_clauses: Dict[Tuple[str, str, int], Dict] = {}
+    current_clause: Optional[Dict] = None
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        tokens = line.split()
+        keyword = tokens[0]
+
+        try:
+            if keyword == "device":
+                if len(tokens) != 2:
+                    raise ParseError(line_number, "usage: device <name>")
+                device_name = tokens[1]
+                current_device = devices.setdefault(device_name, DeviceConfig(name=device_name))
+                graph.add_node(device_name)
+                current_clause = None
+                continue
+
+            if keyword == "link":
+                if len(tokens) != 3:
+                    raise ParseError(line_number, "usage: link <a> <b>")
+                graph.add_undirected_edge(tokens[1], tokens[2])
+                current_clause = None
+                continue
+
+            if current_device is None:
+                raise ParseError(line_number, f"{keyword!r} outside a device block")
+
+            if keyword == "asn":
+                current_device.asn = tokens[1]
+            elif keyword == "network":
+                current_device.originated_prefixes.append(Prefix.parse(tokens[1]))
+            elif keyword == "static-route":
+                args = _parse_keyword_args(tokens[2:])
+                next_hop = args.get("next-hop")
+                current_device.static_routes.append(
+                    StaticRouteConfig(prefix=Prefix.parse(tokens[1]), next_hop=next_hop)
+                )
+            elif keyword == "ospf-link":
+                args = _parse_keyword_args(tokens[2:])
+                current_device.ospf_links[tokens[1]] = OspfLinkConfig(
+                    peer=tokens[1],
+                    cost=int(args.get("cost", "1")),
+                    area=int(args.get("area", "0")),
+                )
+            elif keyword == "bgp-neighbor":
+                args = _parse_keyword_args(tokens[2:])
+                current_device.bgp_neighbors[tokens[1]] = BgpNeighborConfig(
+                    peer=tokens[1],
+                    import_policy=args.get("import"),
+                    export_policy=args.get("export"),
+                    ibgp=args.get("session", "ebgp") == "ibgp",
+                )
+            elif keyword == "community-list":
+                current_device.community_lists[tokens[1]] = CommunityList(
+                    name=tokens[1], communities=tuple(tokens[2:])
+                )
+            elif keyword == "prefix-list":
+                action = tokens[2]
+                prefix = Prefix.parse(tokens[3])
+                extra = _parse_keyword_args(tokens[4:])
+                entry = PrefixListEntry(
+                    prefix=prefix,
+                    action=action,
+                    ge=int(extra["ge"]) if "ge" in extra else None,
+                    le=int(extra["le"]) if "le" in extra else None,
+                )
+                existing = current_device.prefix_lists.get(tokens[1])
+                entries = (existing.entries if existing else ()) + (entry,)
+                current_device.prefix_lists[tokens[1]] = PrefixList(
+                    name=tokens[1], entries=entries
+                )
+            elif keyword == "route-map":
+                map_name, sequence, action = tokens[1], int(tokens[2]), tokens[3]
+                current_clause = {
+                    "sequence": sequence,
+                    "action": action,
+                    "match_community_lists": [],
+                    "match_prefix_lists": [],
+                    "set_local_pref": None,
+                    "set_communities": [],
+                    "delete_communities": [],
+                    "prepend_as": 0,
+                }
+                pending_clauses[(current_device.name, map_name, sequence)] = current_clause
+            elif keyword == "match":
+                if current_clause is None:
+                    raise ParseError(line_number, "match outside a route-map clause")
+                if tokens[1] == "community":
+                    current_clause["match_community_lists"].extend(tokens[2:])
+                elif tokens[1] == "prefix-list":
+                    current_clause["match_prefix_lists"].extend(tokens[2:])
+                else:
+                    raise ParseError(line_number, f"unknown match type {tokens[1]!r}")
+            elif keyword == "set":
+                if current_clause is None:
+                    raise ParseError(line_number, "set outside a route-map clause")
+                if tokens[1] == "local-preference":
+                    current_clause["set_local_pref"] = int(tokens[2])
+                elif tokens[1] == "community":
+                    values = [token for token in tokens[2:] if token != "additive"]
+                    current_clause["set_communities"].extend(values)
+                elif tokens[1] == "comm-list" and tokens[3] == "delete":
+                    current_clause["delete_communities"].append(tokens[2])
+                elif tokens[1] == "as-path-prepend":
+                    current_clause["prepend_as"] = int(tokens[2])
+                else:
+                    raise ParseError(line_number, f"unknown set action {tokens[1]!r}")
+            elif keyword == "acl":
+                acl_name = tokens[1]
+                rest = tokens[2:]
+                default_action = "deny"
+                if "default" in rest:
+                    index = rest.index("default")
+                    default_action = rest[index + 1]
+                    rest = rest[:index]
+                lines = []
+                for i in range(0, len(rest), 2):
+                    lines.append(AclLine(action=rest[i], prefix=Prefix.parse(rest[i + 1])))
+                existing_acl = current_device.acls.get(acl_name)
+                all_lines = (existing_acl.lines if existing_acl else ()) + tuple(lines)
+                current_device.acls[acl_name] = Acl(
+                    name=acl_name, lines=all_lines, default_action=default_action
+                )
+            elif keyword == "interface-acl":
+                current_device.interface_acls[tokens[1]] = tokens[2]
+            else:
+                raise ParseError(line_number, f"unknown keyword {keyword!r}")
+        except ParseError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrap with position info
+            raise ParseError(line_number, str(exc)) from exc
+
+    # Materialise the accumulated route-map clauses.
+    route_maps: Dict[Tuple[str, str], List[RouteMapClause]] = {}
+    for (device_name, map_name, _sequence), clause in pending_clauses.items():
+        route_maps.setdefault((device_name, map_name), []).append(
+            RouteMapClause(
+                sequence=clause["sequence"],
+                action=clause["action"],
+                match_community_lists=tuple(clause["match_community_lists"]),
+                match_prefix_lists=tuple(clause["match_prefix_lists"]),
+                set_local_pref=clause["set_local_pref"],
+                set_communities=tuple(clause["set_communities"]),
+                delete_communities=tuple(clause["delete_communities"]),
+                prepend_as=clause["prepend_as"],
+            )
+        )
+    for (device_name, map_name), clauses in route_maps.items():
+        devices[device_name].route_maps[map_name] = RouteMap(
+            name=map_name, clauses=tuple(clauses)
+        )
+
+    return Network(graph=graph, devices=devices, name=name)
+
+
+def format_network(network: Network) -> str:
+    """Render a network back to the textual format (round-trip friendly)."""
+    lines: List[str] = []
+    for name in sorted(network.devices):
+        device = network.devices[name]
+        lines.append(f"device {name}")
+        if device.asn and device.asn != name:
+            lines.append(f"  asn {device.asn}")
+        for prefix in device.originated_prefixes:
+            lines.append(f"  network {prefix}")
+        for static in device.static_routes:
+            suffix = f" next-hop {static.next_hop}" if static.next_hop else ""
+            lines.append(f"  static-route {static.prefix}{suffix}")
+        for link in device.ospf_links.values():
+            lines.append(f"  ospf-link {link.peer} cost {link.cost} area {link.area}")
+        for neighbor in device.bgp_neighbors.values():
+            parts = [f"  bgp-neighbor {neighbor.peer}"]
+            if neighbor.import_policy:
+                parts.append(f"import {neighbor.import_policy}")
+            if neighbor.export_policy:
+                parts.append(f"export {neighbor.export_policy}")
+            if neighbor.ibgp:
+                parts.append("session ibgp")
+            lines.append(" ".join(parts))
+        for community_list in device.community_lists.values():
+            values = " ".join(community_list.communities)
+            lines.append(f"  community-list {community_list.name} {values}")
+        for prefix_list in device.prefix_lists.values():
+            for entry in prefix_list.entries:
+                extra = ""
+                if entry.ge is not None:
+                    extra += f" ge {entry.ge}"
+                if entry.le is not None:
+                    extra += f" le {entry.le}"
+                lines.append(
+                    f"  prefix-list {prefix_list.name} {entry.action} {entry.prefix}{extra}"
+                )
+        for route_map in device.route_maps.values():
+            for clause in route_map.clauses:
+                lines.append(f"  route-map {route_map.name} {clause.sequence} {clause.action}")
+                if clause.match_community_lists:
+                    lines.append("    match community " + " ".join(clause.match_community_lists))
+                if clause.match_prefix_lists:
+                    lines.append("    match prefix-list " + " ".join(clause.match_prefix_lists))
+                if clause.set_local_pref is not None:
+                    lines.append(f"    set local-preference {clause.set_local_pref}")
+                for community in clause.set_communities:
+                    lines.append(f"    set community {community}")
+                for community in clause.delete_communities:
+                    lines.append(f"    set comm-list {community} delete")
+                if clause.prepend_as:
+                    lines.append(f"    set as-path-prepend {clause.prepend_as}")
+        for acl in device.acls.values():
+            rendered = " ".join(f"{line.action} {line.prefix}" for line in acl.lines)
+            lines.append(
+                f"  acl {acl.name} {rendered} default {acl.default_action}".replace("  default", " default")
+                if rendered
+                else f"  acl {acl.name} default {acl.default_action}"
+            )
+        for peer, acl_name in device.interface_acls.items():
+            lines.append(f"  interface-acl {peer} {acl_name}")
+        lines.append("")
+    seen = set()
+    for u, v in network.graph.edges:
+        key = frozenset((u, v))
+        if key not in seen:
+            seen.add(key)
+            lines.append(f"link {u} {v}")
+    return "\n".join(lines) + "\n"

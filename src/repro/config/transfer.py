@@ -1,0 +1,352 @@
+"""Compile device configurations into SRP instances.
+
+This module is the bridge between the vendor-independent configuration IR
+(:mod:`repro.config`) and the SRP theory (:mod:`repro.srp`): given a
+:class:`~repro.config.network.Network` and a destination equivalence class
+(a prefix plus its originating devices), it builds the concrete SRP whose
+transfer functions implement the configured route maps, static routes, OSPF
+links and ACLs for that destination.
+
+It also produces *specialized syntactic policy keys* for every edge: a
+canonical, hashable summary of the edge's policy with respect to the
+destination.  These keys are a drop-in alternative to the BDD keys from
+:mod:`repro.bdd.policy` (the BDD keys are canonical semantically, the
+syntactic keys only structurally; the ablation benchmark compares the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from repro.config.device import DeviceConfig
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import PERMIT_ALL, RouteMap
+from repro.routing.attributes import (
+    DEFAULT_LOCAL_PREF,
+    NO_ROUTE,
+    BgpAttribute,
+    RibAttribute,
+    StaticAttribute,
+)
+from repro.routing.bgp import BgpProtocol
+from repro.routing.multiprotocol import MultiProtocol
+from repro.routing.ospf import OspfProtocol
+from repro.srp.instance import SRP
+from repro.topology.graph import Edge, Graph, Node
+
+#: Name of the virtual destination node added when several devices
+#: originate the same prefix (the SRP needs a single destination vertex).
+VIRTUAL_DESTINATION = "__dest__"
+
+
+# ----------------------------------------------------------------------
+# Route-map specialization
+# ----------------------------------------------------------------------
+def specialize_route_map(
+    route_map: Optional[RouteMap],
+    device: DeviceConfig,
+    destination: Prefix,
+    ignore_communities: FrozenSet[str] = frozenset(),
+) -> Tuple:
+    """A canonical key describing ``route_map``'s behaviour for ``destination``.
+
+    Prefix-list matches are evaluated against the destination (clauses that
+    cannot match are dropped; satisfied matches are removed), community-list
+    names are replaced by their value sets, and communities in
+    ``ignore_communities`` are stripped from set actions.  Two route maps
+    with equal keys behave identically for this destination.
+    """
+    if route_map is None:
+        return ("permit-all",)
+    clauses: List[Tuple] = []
+    for clause in route_map.clauses:
+        if clause.match_prefix_lists:
+            permitted = any(
+                device.prefix_lists[name].permits(destination)
+                for name in clause.match_prefix_lists
+                if name in device.prefix_lists
+            )
+            if not permitted:
+                # This clause can never match announcements for the
+                # destination; skip it entirely.
+                continue
+        community_values = frozenset(
+            value
+            for name in clause.match_community_lists
+            if name in device.community_lists
+            for value in device.community_lists[name].communities
+        )
+        clauses.append(
+            (
+                clause.action,
+                community_values if clause.match_community_lists else None,
+                clause.set_local_pref,
+                frozenset(clause.set_communities) - ignore_communities,
+                frozenset(clause.delete_communities),
+                clause.prepend_as,
+            )
+        )
+        if clause.action == "permit" and not clause.match_community_lists:
+            # An unconditional permit terminates evaluation for every
+            # announcement; later clauses are unreachable.
+            break
+        if clause.action == "deny" and not clause.match_community_lists:
+            break
+    return tuple(clauses) if clauses else ("deny-all",)
+
+
+def evaluate_route_map(
+    route_map: Optional[RouteMap],
+    device: DeviceConfig,
+    attribute: BgpAttribute,
+    destination: Prefix,
+) -> Optional[BgpAttribute]:
+    """Run a (possibly absent) route map on an announcement."""
+    if route_map is None:
+        return attribute
+    return route_map.evaluate(
+        attribute,
+        destination,
+        device.community_lists,
+        device.prefix_lists,
+        device.asn or device.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-edge compilation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledEdge:
+    """Everything the transfer function needs to know about one edge.
+
+    The edge is ``(u, v)`` in SRP orientation: routes flow from the
+    neighbour ``v`` to the node ``u``; data traffic forwarded over this
+    choice flows from ``u`` to ``v``.
+    """
+
+    edge: Edge
+    has_bgp: bool = False
+    ibgp: bool = False
+    export_map: Optional[RouteMap] = None
+    import_map: Optional[RouteMap] = None
+    has_ospf: bool = False
+    ospf_cost: int = 1
+    has_static: bool = False
+    acl_permits: bool = True
+
+    @property
+    def receiver(self) -> Node:
+        return self.edge[0]
+
+    @property
+    def sender(self) -> Node:
+        return self.edge[1]
+
+
+def compile_edges(network: Network, destination: Prefix) -> Dict[Edge, CompiledEdge]:
+    """Compile every directed edge of the network for one destination."""
+    compiled: Dict[Edge, CompiledEdge] = {}
+    for edge in network.graph.edges:
+        receiver, sender = edge
+        receiver_cfg = network.devices[receiver]
+        sender_cfg = network.devices[sender]
+
+        has_bgp = sender in receiver_cfg.bgp_neighbors and receiver in sender_cfg.bgp_neighbors
+        ibgp = False
+        export_map = import_map = None
+        if has_bgp:
+            session_out = sender_cfg.bgp_neighbors[receiver]
+            session_in = receiver_cfg.bgp_neighbors[sender]
+            ibgp = session_out.ibgp and session_in.ibgp
+            if session_out.export_policy:
+                export_map = sender_cfg.route_maps.get(session_out.export_policy)
+            if session_in.import_policy:
+                import_map = receiver_cfg.route_maps.get(session_in.import_policy)
+
+        has_ospf = sender in receiver_cfg.ospf_links and receiver in sender_cfg.ospf_links
+        ospf_cost = receiver_cfg.ospf_links[sender].cost if has_ospf else 1
+
+        static = receiver_cfg.static_route_for(destination)
+        has_static = static is not None and static.next_hop == sender
+
+        acl_permits = True
+        acl_name = receiver_cfg.interface_acls.get(sender)
+        if acl_name is not None and acl_name in receiver_cfg.acls:
+            acl_permits = receiver_cfg.acls[acl_name].permits(destination)
+
+        compiled[edge] = CompiledEdge(
+            edge=edge,
+            has_bgp=has_bgp,
+            ibgp=ibgp,
+            export_map=export_map,
+            import_map=import_map,
+            has_ospf=has_ospf,
+            ospf_cost=ospf_cost,
+            has_static=has_static,
+            acl_permits=acl_permits,
+        )
+    return compiled
+
+
+def syntactic_policy_keys(
+    network: Network,
+    destination: Prefix,
+    compiled: Optional[Dict[Edge, CompiledEdge]] = None,
+    ignore_communities: Optional[FrozenSet[str]] = None,
+) -> Dict[Edge, Hashable]:
+    """Canonical per-edge policy keys based on specialized configuration text."""
+    if compiled is None:
+        compiled = compile_edges(network, destination)
+    if ignore_communities is None:
+        ignore_communities = network.unused_communities()
+    keys: Dict[Edge, Hashable] = {}
+    for edge, info in compiled.items():
+        receiver_cfg = network.devices[info.receiver]
+        sender_cfg = network.devices[info.sender]
+        keys[edge] = (
+            info.has_bgp,
+            info.ibgp,
+            specialize_route_map(info.export_map, sender_cfg, destination, ignore_communities),
+            specialize_route_map(info.import_map, receiver_cfg, destination, ignore_communities),
+            info.has_ospf,
+            info.ospf_cost if info.has_ospf else None,
+            info.has_static,
+            info.acl_permits,
+        )
+    return keys
+
+
+# ----------------------------------------------------------------------
+# SRP construction
+# ----------------------------------------------------------------------
+def _destination_node(
+    graph: Graph, origins: Set[Node]
+) -> Tuple[Graph, Node, Set[Edge]]:
+    """Pick (or synthesise) the single SRP destination vertex.
+
+    With one originating device that device is the destination.  With
+    several, a virtual node is attached below all of them so that the SRP
+    still has a unique root; the added edges are returned so the transfer
+    function can treat them as plain announcements.
+    """
+    if len(origins) == 1:
+        return graph, next(iter(origins)), set()
+    g = graph.copy()
+    g.add_node(VIRTUAL_DESTINATION)
+    virtual_edges: Set[Edge] = set()
+    for origin in origins:
+        g.add_edge(origin, VIRTUAL_DESTINATION)
+        virtual_edges.add((origin, VIRTUAL_DESTINATION))
+    return g, VIRTUAL_DESTINATION, virtual_edges
+
+
+def build_srp_from_network(
+    network: Network,
+    destination: Prefix,
+    origins: Optional[Set[Node]] = None,
+    ignore_communities: Optional[FrozenSet[str]] = None,
+) -> SRP:
+    """Build the concrete SRP for one destination equivalence class.
+
+    The resulting SRP uses multi-protocol RIB attributes
+    (:class:`~repro.routing.attributes.RibAttribute`) so that BGP, OSPF and
+    static routes coexist exactly as described in §6.
+    """
+    if origins is None:
+        origins = network.originators_of(destination)
+    if not origins:
+        raise ValueError(f"no device originates {destination}")
+    if ignore_communities is None:
+        ignore_communities = network.unused_communities()
+
+    graph, dest_node, virtual_edges = _destination_node(network.graph, set(origins))
+    compiled = compile_edges(network, destination)
+    protocol = MultiProtocol()
+    bgp = BgpProtocol(unused_communities=ignore_communities)
+    ospf = OspfProtocol()
+
+    def transfer(edge: Edge, attribute: Optional[RibAttribute]) -> Optional[RibAttribute]:
+        if edge in virtual_edges:
+            # Links to the virtual destination simply hand out the initial
+            # announcement to each true originator.
+            if attribute is None:
+                return NO_ROUTE
+            return attribute
+
+        info = compiled.get(edge)
+        if info is None:
+            return NO_ROUTE
+        receiver, sender = edge
+        receiver_cfg = network.devices[receiver]
+        sender_cfg = network.devices[sender]
+
+        static_attr = StaticAttribute() if info.has_static else None
+
+        bgp_attr = None
+        ospf_attr = None
+        if attribute is not None:
+            if info.has_ospf and attribute.ospf is not None:
+                ospf_attr = attribute.ospf.with_added_cost(info.ospf_cost)
+            if info.has_bgp and attribute.bgp is not None:
+                outgoing = evaluate_route_map(
+                    info.export_map, sender_cfg, attribute.bgp, destination
+                )
+                if outgoing is not None:
+                    receiver_asn = receiver_cfg.asn or str(receiver)
+                    sender_asn = sender_cfg.asn or str(sender)
+                    if info.ibgp:
+                        # iBGP: no AS-path change and no AS-based loop check.
+                        incoming = outgoing
+                    elif outgoing.contains_as(receiver_asn):
+                        incoming = None
+                    else:
+                        incoming = outgoing.prepended(sender_asn)
+                    if incoming is not None:
+                        bgp_attr = evaluate_route_map(
+                            info.import_map, receiver_cfg, incoming, destination
+                        )
+
+        if static_attr is None and bgp_attr is None and ospf_attr is None:
+            return NO_ROUTE
+        partial = RibAttribute(bgp=bgp_attr, ospf=ospf_attr, static=static_attr)
+        return RibAttribute(
+            bgp=bgp_attr,
+            ospf=ospf_attr,
+            static=static_attr,
+            chosen=partial.best_protocol(),
+        )
+
+    edge_policies: Dict[Edge, Hashable] = dict(
+        syntactic_policy_keys(network, destination, compiled, ignore_communities)
+    )
+    for edge in virtual_edges:
+        edge_policies[edge] = ("virtual-destination",)
+
+    node_prefs: Dict[Node, tuple] = {}
+    for node in graph.nodes:
+        if node == VIRTUAL_DESTINATION:
+            node_prefs[node] = (DEFAULT_LOCAL_PREF,)
+            continue
+        device = network.devices[node]
+        node_prefs[node] = tuple(sorted(device.local_pref_values()))
+
+    initial = RibAttribute(
+        bgp=bgp.initial_attribute(dest_node),
+        ospf=ospf.initial_attribute(dest_node),
+        static=None,
+        chosen="ebgp",
+    )
+
+    return SRP(
+        graph=graph,
+        destination=dest_node,
+        initial=initial,
+        prefer=protocol.prefer,
+        transfer=transfer,
+        protocol=protocol,
+        edge_policies=edge_policies,
+        node_prefs=node_prefs,
+    )

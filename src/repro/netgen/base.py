@@ -1,0 +1,137 @@
+"""Shared helpers for the configuration generators.
+
+The generators turn bare topologies into fully configured
+:class:`~repro.config.network.Network` objects: address allocation, the
+standard eBGP session mesh over physical links, and the common
+"permit data-centre space" export filter used by the synthetic networks in
+the paper's evaluation (each network "uses eBGP to perform shortest path
+routing along with destination-based prefix filters to each destination").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.config.device import BgpNeighborConfig, DeviceConfig
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import (
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.topology.graph import Graph
+
+#: The aggregate covering every address the generators allocate.
+SITE_AGGREGATE = Prefix.parse("10.0.0.0/8")
+
+#: Names shared by all generated devices.
+EXPORT_MAP = "EXPORT-FILTER"
+IMPORT_MAP = "IMPORT-DEFAULT"
+SITE_PREFIX_LIST = "SITE-PREFIXES"
+
+
+def prefix_for_index(index: int) -> Prefix:
+    """The /24 prefix allocated to the ``index``-th originating device."""
+    if index < 0 or index >= 256 * 256:
+        raise ValueError("prefix index out of range")
+    return Prefix.parse(f"10.{index // 256}.{index % 256}.0/24")
+
+
+def site_prefix_list() -> PrefixList:
+    """A prefix list matching every allocated destination prefix."""
+    return PrefixList(
+        name=SITE_PREFIX_LIST,
+        entries=(
+            PrefixListEntry(prefix=SITE_AGGREGATE, action="permit", ge=8, le=32),
+        ),
+    )
+
+
+def standard_export_map() -> RouteMap:
+    """Export filter permitting only site prefixes (implicit deny otherwise)."""
+    return RouteMap(
+        name=EXPORT_MAP,
+        clauses=(
+            RouteMapClause(
+                sequence=10, action="permit", match_prefix_lists=(SITE_PREFIX_LIST,)
+            ),
+        ),
+    )
+
+
+def permit_all_map(name: str = IMPORT_MAP) -> RouteMap:
+    """An import policy that accepts everything unchanged."""
+    return RouteMap(name=name, clauses=(RouteMapClause(sequence=10, action="permit"),))
+
+
+def make_bgp_device(
+    name: str,
+    neighbours: Iterable[str],
+    originated: Optional[Prefix] = None,
+    export_map: Optional[RouteMap] = None,
+    import_maps: Optional[Dict[str, str]] = None,
+    extra_route_maps: Optional[Dict[str, RouteMap]] = None,
+) -> DeviceConfig:
+    """Build a device running eBGP with every physical neighbour.
+
+    Parameters
+    ----------
+    neighbours:
+        The adjacent devices to establish sessions with.
+    originated:
+        The prefix this device announces into BGP, if any.
+    export_map:
+        The export policy applied on every session (defaults to the
+        standard site filter).
+    import_maps:
+        Optional per-neighbour import route-map names (the route maps
+        themselves must be provided via ``extra_route_maps``); neighbours
+        not listed use the permissive default.
+    extra_route_maps:
+        Additional route maps to install on the device.
+    """
+    export = export_map or standard_export_map()
+    device = DeviceConfig(name=name, asn=name)
+    device.prefix_lists[SITE_PREFIX_LIST] = site_prefix_list()
+    device.route_maps[export.name] = export
+    device.route_maps[IMPORT_MAP] = permit_all_map()
+    for map_name, route_map in (extra_route_maps or {}).items():
+        device.route_maps[map_name] = route_map
+    if originated is not None:
+        device.originated_prefixes.append(originated)
+    for peer in sorted(neighbours, key=str):
+        import_policy = (import_maps or {}).get(peer, IMPORT_MAP)
+        device.bgp_neighbors[peer] = BgpNeighborConfig(
+            peer=peer, import_policy=import_policy, export_policy=export.name
+        )
+    return device
+
+
+def uniform_bgp_network(
+    graph: Graph,
+    name: str,
+    originators: Optional[Sequence[str]] = None,
+) -> Network:
+    """A network where every device runs plain shortest-path eBGP.
+
+    Every device (or only ``originators`` when given) announces its own /24
+    and exports through the standard site filter; imports are permissive.
+    This is the configuration style of the paper's synthetic networks.
+    """
+    nodes = graph.nodes
+    if originators is None:
+        originators = list(nodes)
+    origin_index = {node: i for i, node in enumerate(originators)}
+    devices: Dict[str, DeviceConfig] = {}
+    for node in nodes:
+        originated = (
+            prefix_for_index(origin_index[node]) if node in origin_index else None
+        )
+        devices[node] = make_bgp_device(
+            name=str(node),
+            neighbours=graph.successors(node),
+            originated=originated,
+        )
+    return Network(graph=graph, devices=devices, name=name)

@@ -1,0 +1,207 @@
+"""Synthetic substitute for the paper's operational datacenter (§8).
+
+The paper's first real network is a 197-router datacenter "organized into
+multiple clusters, each with a Clos-like topology", running eBGP and static
+routing with extensive route filters, ACLs and BGP communities -- including
+many community tags that are attached but never matched on.  Those
+configurations are proprietary, so this generator builds a synthetic
+network with the same structural ingredients:
+
+* a small core layer connecting several clusters;
+* each cluster is a Clos of spine and leaf (ToR) switches;
+* every device runs eBGP (its own private AS) with destination prefix
+  filters; spines additionally filter exports towards the core to their
+  cluster's aggregate;
+* each leaf attaches a cluster-identifying community that nothing ever
+  matches (the "irrelevant tags" that inflate role counts);
+* a few leaves per cluster carry static routes, and core routers apply an
+  ACL towards the clusters for a quarantined prefix.
+
+With the default parameters the network has 197 devices, mirroring the
+paper's node count; the interface count is much smaller than the paper's
+16k because virtual interfaces are not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.acl import Acl, AclLine
+from repro.config.device import DeviceConfig, StaticRouteConfig
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import (
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.netgen.base import make_bgp_device, IMPORT_MAP
+from repro.topology.graph import Graph
+
+#: Prefix that core ACLs quarantine (data-plane only).
+QUARANTINE_PREFIX = Prefix.parse("10.200.0.0/16")
+
+CLUSTER_EXPORT_MAP = "EXPORT-CLUSTER"
+LEAF_EXPORT_MAP = "EXPORT-LEAF"
+CORE_ACL = "QUARANTINE"
+
+
+@dataclass(frozen=True)
+class DatacenterParams:
+    """Size knobs for the synthetic datacenter."""
+
+    clusters: int = 8
+    spines_per_cluster: int = 4
+    leaves_per_cluster: int = 20
+    core_routers: int = 5
+    static_leaves_per_cluster: int = 2
+
+    @property
+    def total_devices(self) -> int:
+        per_cluster = self.spines_per_cluster + self.leaves_per_cluster
+        return self.core_routers + self.clusters * per_cluster
+
+
+#: The default parameters give the paper's 197 devices.
+PAPER_SCALE = DatacenterParams()
+
+#: A small instance for tests and examples.
+SMALL_SCALE = DatacenterParams(
+    clusters=3, spines_per_cluster=2, leaves_per_cluster=4, core_routers=2,
+    static_leaves_per_cluster=1,
+)
+
+
+def _cluster_aggregate(cluster: int) -> Prefix:
+    return Prefix.parse(f"10.{cluster}.0.0/16")
+
+
+def _leaf_prefix(cluster: int, leaf: int) -> Prefix:
+    return Prefix.parse(f"10.{cluster}.{leaf}.0/24")
+
+
+def _cluster_export_map(cluster: int) -> RouteMap:
+    """Spine-to-core export policy: only the cluster's aggregate space."""
+    return RouteMap(
+        name=f"{CLUSTER_EXPORT_MAP}-{cluster}",
+        clauses=(
+            RouteMapClause(
+                sequence=10,
+                action="permit",
+                match_prefix_lists=(f"CLUSTER-{cluster}",),
+            ),
+        ),
+    )
+
+
+def _cluster_prefix_list(cluster: int) -> PrefixList:
+    return PrefixList(
+        name=f"CLUSTER-{cluster}",
+        entries=(
+            PrefixListEntry(
+                prefix=_cluster_aggregate(cluster), action="permit", ge=16, le=32
+            ),
+        ),
+    )
+
+
+def _leaf_export_map(cluster: int) -> RouteMap:
+    """Leaf export policy: advertise site space, tagging announcements with
+    the cluster community -- which nothing ever matches on.  These
+    irrelevant tags are what inflated the role count of the paper's real
+    datacenter before the attribute abstraction stripped them (§8)."""
+    return RouteMap(
+        name=LEAF_EXPORT_MAP,
+        clauses=(
+            RouteMapClause(
+                sequence=10,
+                action="permit",
+                match_prefix_lists=("SITE-PREFIXES",),
+                set_communities=(f"65001:{1000 + cluster}",),
+            ),
+        ),
+    )
+
+
+def datacenter_network(params: DatacenterParams = PAPER_SCALE) -> Network:
+    """Build the synthetic multi-cluster Clos datacenter."""
+    graph = Graph()
+    cores = [f"core{i}" for i in range(params.core_routers)]
+    for core in cores:
+        graph.add_node(core)
+
+    spine_names: Dict[int, List[str]] = {}
+    leaf_names: Dict[int, List[str]] = {}
+    for cluster in range(params.clusters):
+        spines = [f"c{cluster}spine{i}" for i in range(params.spines_per_cluster)]
+        leaves = [f"c{cluster}leaf{i}" for i in range(params.leaves_per_cluster)]
+        spine_names[cluster] = spines
+        leaf_names[cluster] = leaves
+        for spine in spines:
+            graph.add_node(spine)
+            for core in cores:
+                graph.add_undirected_edge(spine, core)
+            for leaf in leaves:
+                graph.add_undirected_edge(spine, leaf)
+
+    devices: Dict[str, DeviceConfig] = {}
+
+    # --- core routers --------------------------------------------------
+    quarantine_acl = Acl(
+        name=CORE_ACL,
+        lines=(AclLine(action="deny", prefix=QUARANTINE_PREFIX),),
+        default_action="permit",
+    )
+    for core in cores:
+        device = make_bgp_device(name=core, neighbours=graph.successors(core))
+        device.acls[CORE_ACL] = quarantine_acl
+        for peer in graph.successors(core):
+            device.interface_acls[peer] = CORE_ACL
+        devices[core] = device
+
+    # --- clusters -------------------------------------------------------
+    for cluster in range(params.clusters):
+        cluster_list = _cluster_prefix_list(cluster)
+        spine_export = _cluster_export_map(cluster)
+        leaf_export = _leaf_export_map(cluster)
+
+        for spine in spine_names[cluster]:
+            import_maps = {peer: IMPORT_MAP for peer in graph.successors(spine)}
+            device = make_bgp_device(
+                name=spine,
+                neighbours=graph.successors(spine),
+                import_maps=import_maps,
+                extra_route_maps={spine_export.name: spine_export},
+            )
+            device.prefix_lists[cluster_list.name] = cluster_list
+            # Exports towards the core use the cluster filter; exports to
+            # leaves keep the default site filter.
+            for core in cores:
+                device.bgp_neighbors[core].export_policy = spine_export.name
+            devices[spine] = device
+
+        for index, leaf in enumerate(leaf_names[cluster]):
+            device = make_bgp_device(
+                name=leaf,
+                neighbours=graph.successors(leaf),
+                originated=_leaf_prefix(cluster, index),
+                extra_route_maps={leaf_export.name: leaf_export},
+            )
+            device.prefix_lists[cluster_list.name] = cluster_list
+            for spine in spine_names[cluster]:
+                device.bgp_neighbors[spine].export_policy = leaf_export.name
+            if index < params.static_leaves_per_cluster:
+                # A handful of leaves pin a management prefix to their first
+                # spine with a static route (the paper notes statics are a
+                # major source of residual role differences).
+                device.static_routes.append(
+                    StaticRouteConfig(
+                        prefix=Prefix.parse(f"10.250.{cluster}.0/24"),
+                        next_hop=spine_names[cluster][0],
+                    )
+                )
+            devices[leaf] = device
+
+    return Network(graph=graph, devices=devices, name="datacenter")

@@ -1,0 +1,87 @@
+"""Configured fat-tree networks (Table 1(a) and Figure 11 workloads).
+
+Two routing-policy flavours are supported, matching Figure 11:
+
+* ``shortest_path`` -- plain eBGP shortest (AS-path) routing with the
+  standard destination prefix filters; every device plays one of three
+  roles (core / aggregation / edge), so compression is maximal.
+* ``prefer_bottom`` -- the middle (aggregation) tier assigns a higher
+  local preference to routes learned from the edge tier below it.  This
+  gives aggregation routers two possible local-preference values, which
+  triggers the BGP-effective machinery (∀∀ refinement + case splitting)
+  and yields a larger abstract network, as the paper's figure shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.config.device import DeviceConfig
+from repro.config.network import Network
+from repro.config.routemap import RouteMap, RouteMapClause
+from repro.netgen.base import (
+    IMPORT_MAP,
+    make_bgp_device,
+    prefix_for_index,
+)
+from repro.topology.builders import fattree_topology
+
+#: Local preference the aggregation tier assigns to routes from the edge tier.
+PREFER_BOTTOM_LOCAL_PREF = 200
+PREFER_BOTTOM_MAP = "PREFER-BOTTOM"
+
+#: The policy flavours understood by :func:`fattree_network`.
+POLICIES = ("shortest_path", "prefer_bottom")
+
+
+def _prefer_bottom_map() -> RouteMap:
+    return RouteMap(
+        name=PREFER_BOTTOM_MAP,
+        clauses=(
+            RouteMapClause(
+                sequence=10, action="permit", set_local_pref=PREFER_BOTTOM_LOCAL_PREF
+            ),
+        ),
+    )
+
+
+def fattree_network(k: int, policy: str = "shortest_path") -> Network:
+    """A configured k-ary fat-tree running eBGP.
+
+    Every edge (top-of-rack) switch originates one /24; aggregation and
+    core switches only transit.  ``policy`` selects the Figure 11 variant.
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown fat-tree policy {policy!r}; expected one of {POLICIES}")
+    graph, roles = fattree_topology(k)
+
+    edge_nodes = sorted(node for node, role in roles.items() if role == "edge")
+    origin_index = {node: i for i, node in enumerate(edge_nodes)}
+
+    devices: Dict[str, DeviceConfig] = {}
+    for node in graph.nodes:
+        role = roles[node]
+        originated = prefix_for_index(origin_index[node]) if node in origin_index else None
+        import_maps = None
+        extra_maps = None
+        if policy == "prefer_bottom" and role == "aggregation":
+            # Sessions towards the edge tier get the higher local preference.
+            import_maps = {
+                peer: (PREFER_BOTTOM_MAP if roles[peer] == "edge" else IMPORT_MAP)
+                for peer in graph.successors(node)
+            }
+            extra_maps = {PREFER_BOTTOM_MAP: _prefer_bottom_map()}
+        devices[node] = make_bgp_device(
+            name=str(node),
+            neighbours=graph.successors(node),
+            originated=originated,
+            import_maps=import_maps,
+            extra_route_maps=extra_maps,
+        )
+    return Network(graph=graph, devices=devices, name=f"fattree-k{k}-{policy}")
+
+
+def fattree_roles(k: int) -> Dict[str, str]:
+    """The role (core / aggregation / edge) of each node in the k-ary fat-tree."""
+    _, roles = fattree_topology(k)
+    return {str(node): role for node, role in roles.items()}

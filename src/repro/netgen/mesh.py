@@ -1,0 +1,20 @@
+"""Configured full-mesh networks (Table 1(a) workload).
+
+Every pair of routers shares an eBGP session; each router originates one
+/24.  Because every non-destination router is symmetric to every other,
+Bonsai compresses a full mesh of any size to two abstract nodes (the
+destination plus one node for everyone else), with a single abstract edge
+-- the most favourable case in Table 1(a).
+"""
+
+from __future__ import annotations
+
+from repro.config.network import Network
+from repro.netgen.base import uniform_bgp_network
+from repro.topology.builders import full_mesh_topology
+
+
+def full_mesh_network(size: int) -> Network:
+    """A configured full mesh of ``size`` eBGP routers."""
+    graph, _roles = full_mesh_topology(size)
+    return uniform_bgp_network(graph, name=f"mesh-{size}")

@@ -1,0 +1,21 @@
+"""Configured ring networks (Table 1(a) workload).
+
+Every router on the ring runs eBGP with its two neighbours, originates one
+/24 and exports through the standard site filter.  Rings are the hardest
+synthetic case for Bonsai: the abstraction must preserve path length, so
+the compressed network's size grows with the ring's diameter (roughly n/2
+abstract nodes), which is exactly the trend Table 1(a) reports.
+"""
+
+from __future__ import annotations
+
+from repro.config.network import Network
+from repro.netgen.base import uniform_bgp_network
+from repro.topology.builders import ring_topology
+
+
+def ring_network(size: int) -> Network:
+    """A configured ring of ``size`` eBGP routers."""
+    graph, _roles = ring_topology(size)
+    network = uniform_bgp_network(graph, name=f"ring-{size}")
+    return network

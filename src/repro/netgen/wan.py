@@ -1,0 +1,180 @@
+"""Synthetic substitute for the paper's operational WAN (§8).
+
+The paper's second real network is a 1086-device wide-area network running
+eBGP, iBGP, OSPF and static routes, with neighbour-specific prefix filters
+and ACLs accounting for most of the 137 distinct device roles.  As with the
+datacenter, the real configurations are proprietary; this generator builds
+a hierarchical WAN with the same protocol mix:
+
+* a small full-mesh **core** running OSPF and iBGP among itself;
+* per-region **hub** routers, each homed to two core routers over eBGP and
+  applying a region-specific export filter towards the core;
+* per-region **access** routers running eBGP to their hub; a fraction of
+  them also carry a static default route towards the hub;
+* hubs filter what they accept from access routers with a region prefix
+  list.
+
+With the default parameters the network has 1086 devices, matching the
+paper's device count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config.device import (
+    BgpNeighborConfig,
+    DeviceConfig,
+    OspfLinkConfig,
+    StaticRouteConfig,
+)
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import (
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.netgen.base import IMPORT_MAP, make_bgp_device
+from repro.topology.graph import Graph
+
+REGION_EXPORT_MAP = "EXPORT-REGION"
+
+
+@dataclass(frozen=True)
+class WanParams:
+    """Size knobs for the synthetic WAN."""
+
+    core_routers: int = 6
+    regions: int = 30
+    access_per_region: int = 35
+    static_access_per_region: int = 5
+
+    @property
+    def total_devices(self) -> int:
+        return self.core_routers + self.regions * (1 + self.access_per_region)
+
+
+#: Default parameters give the paper's 1086 devices (6 + 30 * 36).
+PAPER_SCALE = WanParams()
+
+#: A small instance for tests and examples.
+SMALL_SCALE = WanParams(core_routers=2, regions=3, access_per_region=4,
+                        static_access_per_region=1)
+
+
+def _region_aggregate(region: int) -> Prefix:
+    return Prefix.parse(f"10.{100 + region // 100}.{region % 100}.0/24")
+
+
+def _access_prefix(region: int, access: int) -> Prefix:
+    # Give every access router a /32 loopback-style destination inside the
+    # region aggregate so region filters stay meaningful.
+    base = _region_aggregate(region)
+    return Prefix(base.address | access, 32)
+
+
+def _region_prefix_list(region: int) -> PrefixList:
+    return PrefixList(
+        name=f"REGION-{region}",
+        entries=(
+            PrefixListEntry(prefix=_region_aggregate(region), action="permit", ge=24, le=32),
+        ),
+    )
+
+
+def _region_export_map(region: int) -> RouteMap:
+    return RouteMap(
+        name=f"{REGION_EXPORT_MAP}-{region}",
+        clauses=(
+            RouteMapClause(
+                sequence=10, action="permit", match_prefix_lists=(f"REGION-{region}",)
+            ),
+        ),
+    )
+
+
+def wan_network(params: WanParams = PAPER_SCALE) -> Network:
+    """Build the synthetic WAN."""
+    graph = Graph()
+    cores = [f"wcore{i}" for i in range(params.core_routers)]
+    for core in cores:
+        graph.add_node(core)
+    for i, a in enumerate(cores):
+        for b in cores[i + 1:]:
+            graph.add_undirected_edge(a, b)
+
+    hubs: List[str] = []
+    access_names: Dict[int, List[str]] = {}
+    for region in range(params.regions):
+        hub = f"hub{region}"
+        hubs.append(hub)
+        graph.add_node(hub)
+        # Dual-home each hub to two core routers.
+        graph.add_undirected_edge(hub, cores[region % len(cores)])
+        graph.add_undirected_edge(hub, cores[(region + 1) % len(cores)])
+        accesses = [f"r{region}a{i}" for i in range(params.access_per_region)]
+        access_names[region] = accesses
+        for access in accesses:
+            graph.add_undirected_edge(access, hub)
+
+    devices: Dict[str, DeviceConfig] = {}
+
+    # --- core: OSPF + iBGP full mesh, eBGP towards hubs -----------------
+    for core in cores:
+        device = make_bgp_device(name=core, neighbours=graph.successors(core))
+        device.asn = "65000"
+        for peer in graph.successors(core):
+            if peer in cores:
+                device.ospf_links[peer] = OspfLinkConfig(peer=peer, cost=10, area=0)
+                device.bgp_neighbors[peer] = BgpNeighborConfig(
+                    peer=peer,
+                    import_policy=IMPORT_MAP,
+                    export_policy=device.bgp_neighbors[peer].export_policy,
+                    ibgp=True,
+                )
+        devices[core] = device
+
+    # --- hubs ------------------------------------------------------------
+    for region, hub in enumerate(hubs):
+        region_list = _region_prefix_list(region)
+        export_map = _region_export_map(region)
+        import_maps = {
+            peer: IMPORT_MAP for peer in graph.successors(hub)
+        }
+        device = make_bgp_device(
+            name=hub,
+            neighbours=graph.successors(hub),
+            originated=_region_aggregate(region),
+            import_maps=import_maps,
+            extra_route_maps={export_map.name: export_map},
+        )
+        device.prefix_lists[region_list.name] = region_list
+        for core in cores:
+            if core in device.bgp_neighbors:
+                device.bgp_neighbors[core].export_policy = export_map.name
+        devices[hub] = device
+
+    # --- access routers ----------------------------------------------------
+    for region, accesses in access_names.items():
+        hub = hubs[region]
+        region_list = _region_prefix_list(region)
+        export_map = _region_export_map(region)
+        for index, access in enumerate(accesses):
+            device = make_bgp_device(
+                name=access,
+                neighbours=graph.successors(access),
+                originated=_access_prefix(region, index),
+                extra_route_maps={export_map.name: export_map},
+            )
+            device.prefix_lists[region_list.name] = region_list
+            device.bgp_neighbors[hub].export_policy = export_map.name
+            if index < params.static_access_per_region:
+                device.static_routes.append(
+                    StaticRouteConfig(prefix=Prefix.parse("0.0.0.0/0"), next_hop=hub)
+                )
+            devices[access] = device
+
+    return Network(graph=graph, devices=devices, name="wan")

@@ -1,0 +1,78 @@
+"""Static routing model (§3.2, Figure 6).
+
+Operators configure static routes that name the interface (edge) to use
+for a destination.  The attribute set is the singleton ``{true}``, the
+comparison relation is empty, and the transfer function ignores the
+neighbour's attribute entirely: it returns ``true`` when a static route is
+configured on the edge and ``⊥`` otherwise.  Static routing therefore
+violates non-spontaneity and can create forwarding loops, which is exactly
+why the paper treats it separately (Theorem 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.routing.attributes import NO_ROUTE, StaticAttribute
+from repro.routing.protocol import Protocol
+from repro.srp.instance import SRP
+from repro.topology.graph import Edge, Graph, Node
+
+
+class StaticProtocol(Protocol):
+    """Static routing: a single attribute and an empty comparison relation."""
+
+    name = "static"
+
+    def initial_attribute(self, destination: Node) -> StaticAttribute:
+        return StaticAttribute()
+
+    def prefer(self, a: StaticAttribute, b: StaticAttribute) -> bool:
+        # The comparison relation is trivially empty: no attribute is
+        # strictly preferred to any other.
+        return False
+
+    def default_transfer(
+        self, edge: Edge, attribute: Optional[StaticAttribute]
+    ) -> Optional[StaticAttribute]:
+        return NO_ROUTE
+
+
+def build_static_srp(
+    graph: Graph,
+    destination: Node,
+    static_edges: Iterable[Edge],
+) -> SRP:
+    """Construct the SRP for static routing.
+
+    Parameters
+    ----------
+    static_edges:
+        The edges ``(u, v)`` on which a static route towards the destination
+        is configured at ``u`` (pointing out of ``u`` towards ``v``).
+    """
+    protocol = StaticProtocol()
+    configured: Set[Edge] = set(static_edges)
+    for edge in configured:
+        if not graph.has_edge(*edge):
+            raise ValueError(f"static route on non-existent edge {edge}")
+
+    def transfer(edge: Edge, attribute: Optional[StaticAttribute]) -> Optional[StaticAttribute]:
+        # Static routes do not depend on the neighbour's attribute at all.
+        if edge in configured:
+            return StaticAttribute()
+        return NO_ROUTE
+
+    edge_policies: Dict[Edge, object] = {
+        edge: ("static", edge in configured) for edge in graph.edges
+    }
+
+    return SRP(
+        graph=graph,
+        destination=destination,
+        initial=protocol.initial_attribute(destination),
+        prefer=protocol.prefer,
+        transfer=transfer,
+        protocol=protocol,
+        edge_policies=edge_policies,
+    )

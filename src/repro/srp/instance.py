@@ -1,0 +1,105 @@
+"""The Stable Routing Problem (SRP) instance (§3.1).
+
+An SRP is the paper's generic model of a routing protocol running on a
+topology: a tuple ``(G, A, ad, ≺, trans)`` of a graph with a destination, a
+set of attributes, the destination's initial attribute, a comparison
+relation, and a transfer function.  This module defines the instance
+itself; solutions live in :mod:`repro.srp.solution` and the solver in
+:mod:`repro.srp.solver`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.topology.graph import Edge, Graph, Node
+
+Attribute = Any
+PreferFn = Callable[[Attribute, Attribute], bool]
+TransferFn = Callable[[Edge, Optional[Attribute]], Optional[Attribute]]
+
+
+class SRPError(Exception):
+    """Raised for malformed SRP instances."""
+
+
+@dataclass
+class SRP:
+    """A Stable Routing Problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The network topology ``G = (V, E)``.
+    destination:
+        The destination vertex ``d``.
+    initial:
+        The initial attribute ``ad`` announced by the destination.
+    prefer:
+        The strict comparison relation ``≺``: ``prefer(a, b)`` is True iff
+        ``a`` is strictly better than ``b``.
+    transfer:
+        The transfer function ``trans(e, a)``: given edge ``e = (u, v)`` and
+        the attribute at the neighbour ``v``, returns the attribute received
+        at ``u``, or ``None`` when the route is dropped.
+    protocol:
+        Optional protocol object the instance was built from; carries the
+        attribute abstraction ``h`` used when validating CP-equivalence.
+    edge_policies:
+        Optional per-edge canonical policy keys.  Two edges with equal keys
+        are guaranteed to have identical transfer functions for this
+        destination; the abstraction-refinement algorithm groups nodes using
+        these keys (in the full pipeline they are BDD node identities).
+    node_prefs:
+        Optional per-node tuple of BGP local-preference values the node's
+        policy can assign (used to bound BGP case splitting, Theorem 4.4).
+    """
+
+    graph: Graph
+    destination: Node
+    initial: Attribute
+    prefer: PreferFn
+    transfer: TransferFn
+    protocol: Any = None
+    edge_policies: Dict[Edge, Any] = field(default_factory=dict)
+    node_prefs: Dict[Node, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.graph.has_node(self.destination):
+            raise SRPError(f"destination {self.destination!r} is not in the graph")
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self):
+        return self.graph.nodes
+
+    @property
+    def edges(self):
+        return self.graph.edges
+
+    def equally_preferred(self, a: Attribute, b: Attribute) -> bool:
+        """The paper's ``a ≈ b``: neither strictly preferred to the other."""
+        return not self.prefer(a, b) and not self.prefer(b, a)
+
+    def choices(self, node: Node, labeling: Dict[Node, Optional[Attribute]]):
+        """The paper's ``choices_L(u)``: the non-dropped attributes offered to
+        ``node`` by its neighbours under ``labeling``, as ``(edge, attr)``
+        pairs."""
+        result = []
+        for edge in self.graph.out_edges(node):
+            _, neighbour = edge
+            attr = self.transfer(edge, labeling.get(neighbour))
+            if attr is not None:
+                result.append((edge, attr))
+        return result
+
+    def policy_key(self, edge: Edge) -> Any:
+        """The canonical policy key for ``edge`` (defaults to a shared key)."""
+        return self.edge_policies.get(edge, ("default",))
+
+    def prefs(self, node: Node) -> tuple:
+        """Local-preference values assignable at ``node`` (default: one)."""
+        return self.node_prefs.get(node, (0,))

@@ -1,0 +1,148 @@
+"""SRP solutions: labelings, forwarding relations and stability checks (§3.1).
+
+A *solution* to an SRP is a labeling ``L : V -> A⊥`` satisfying the
+stability constraints of Figure 4: the destination keeps its initial
+attribute, a node with no offers has no route, and every other node holds a
+minimal offered attribute.  The induced forwarding relation ``fwd_L(u)``
+contains the edges whose offered attribute is as good as the chosen one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.srp.instance import SRP
+from repro.topology.graph import Edge, Graph, Node
+
+Attribute = Any
+Labeling = Dict[Node, Optional[Attribute]]
+
+
+@dataclass
+class Solution:
+    """A stable solution to an SRP.
+
+    Attributes
+    ----------
+    srp:
+        The instance this labels.
+    labeling:
+        The attribute chosen at each node (``None`` meaning no route).
+    """
+
+    srp: SRP
+    labeling: Labeling = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def forwarding_edges(self, node: Node) -> List[Edge]:
+        """The paper's ``fwd_L(node)``: edges carrying an offer as good as
+        the node's chosen attribute.  Empty for the destination and for
+        nodes with no route."""
+        chosen = self.labeling.get(node)
+        if chosen is None or node == self.srp.destination:
+            return []
+        edges = []
+        for edge, attr in self.srp.choices(node, self.labeling):
+            if self.srp.equally_preferred(attr, chosen):
+                edges.append(edge)
+        return edges
+
+    def forwarding_graph(self) -> Graph:
+        """The sub-graph containing only forwarding edges."""
+        g = Graph()
+        for node in self.srp.graph.nodes:
+            g.add_node(node)
+        for node in self.srp.graph.nodes:
+            for edge in self.forwarding_edges(node):
+                g.add_edge(*edge)
+        return g
+
+    def next_hops(self, node: Node) -> Set[Node]:
+        """The neighbours ``node`` forwards traffic to."""
+        return {v for _, v in self.forwarding_edges(node)}
+
+    def forwarding_paths(self, source: Node, max_paths: int = 10_000) -> List[List[Node]]:
+        """All loop-free forwarding paths from ``source``.
+
+        Each path ends either at the destination, at a node with no route
+        (black hole), or at the first repeated node (loop; the repeated node
+        appears twice so callers can detect it).
+        """
+        paths: List[List[Node]] = []
+
+        def walk(node: Node, path: List[Node]) -> None:
+            if len(paths) >= max_paths:
+                return
+            if node == self.srp.destination:
+                paths.append(path)
+                return
+            hops = self.forwarding_edges(node)
+            if not hops:
+                paths.append(path)
+                return
+            for _, nxt in sorted(hops, key=lambda e: str(e[1])):
+                if nxt in path:
+                    paths.append(path + [nxt])
+                    continue
+                walk(nxt, path + [nxt])
+
+        walk(source, [source])
+        return paths
+
+    # ------------------------------------------------------------------
+    # Stability
+    # ------------------------------------------------------------------
+    def is_stable(self) -> bool:
+        """True iff the labeling satisfies the SRP solution constraints."""
+        return not self.violations()
+
+    def violations(self) -> List[str]:
+        """Human-readable descriptions of every stability violation."""
+        problems: List[str] = []
+        srp = self.srp
+        for node in srp.graph.nodes:
+            label = self.labeling.get(node)
+            if node == srp.destination:
+                if label != srp.initial:
+                    problems.append(
+                        f"destination {node!r} labelled {label!r}, expected {srp.initial!r}"
+                    )
+                continue
+            offers = [attr for _, attr in srp.choices(node, self.labeling)]
+            if not offers:
+                if label is not None:
+                    problems.append(f"{node!r} has no offers but is labelled {label!r}")
+                continue
+            if label is None:
+                problems.append(f"{node!r} has offers {offers!r} but no route")
+                continue
+            if not any(srp.equally_preferred(label, offer) for offer in offers):
+                problems.append(f"{node!r} label {label!r} is not among its offers")
+                continue
+            better = [offer for offer in offers if srp.prefer(offer, label)]
+            if better:
+                problems.append(
+                    f"{node!r} label {label!r} is not minimal; better offers: {better!r}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Inspection helpers
+    # ------------------------------------------------------------------
+    def routed_nodes(self) -> Set[Node]:
+        """Nodes that hold a route to the destination."""
+        return {n for n, a in self.labeling.items() if a is not None}
+
+    def unrouted_nodes(self) -> Set[Node]:
+        """Nodes with no route to the destination."""
+        return {n for n in self.srp.graph.nodes if self.labeling.get(n) is None}
+
+    def as_table(self) -> List[Tuple[Node, Optional[Attribute], Set[Node]]]:
+        """A simple (node, attribute, next-hops) table for display."""
+        return [
+            (node, self.labeling.get(node), self.next_hops(node))
+            for node in self.srp.graph.nodes
+        ]

@@ -1,0 +1,216 @@
+"""SRP solvers: compute stable solutions by simulating the control plane.
+
+The paper never needs to *solve* SRPs to compute abstractions -- that is
+the whole point -- but this repository uses a solver in three places:
+
+1. to validate that abstractions really are CP-equivalent (tests),
+2. as the Batfish-style control-plane simulation substrate on which the
+   downstream analyses (reachability, verification benchmarks) run, and
+3. to explore the multiple solutions BGP gadgets can exhibit.
+
+Two solvers are provided:
+
+* :func:`solve` -- a synchronous fixed-point (round-based) computation with
+  deterministic tie-breaking.  This matches how Batfish simulates the
+  control plane and converges for the protocols modelled here.
+* :func:`solve_with_activation_order` -- an asynchronous simulation that
+  processes one node at a time following a caller-supplied (or seeded
+  pseudo-random) activation sequence; different orders can surface the
+  different stable solutions of policy-rich BGP networks (e.g. Figure 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.srp.instance import SRP
+from repro.srp.solution import Labeling, Solution
+from repro.topology.graph import Node
+
+Attribute = Any
+
+
+class ConvergenceError(Exception):
+    """Raised when the simulation does not reach a fixed point."""
+
+
+def _attribute_sort_key(attr: Attribute) -> str:
+    """A deterministic (but semantically meaningless) tie-breaking key."""
+    return repr(attr)
+
+
+def _best_choice(srp: SRP, node: Node, labeling: Labeling) -> Optional[Attribute]:
+    """The minimal offered attribute at ``node`` under ``labeling``.
+
+    Ties under ``≺`` are broken deterministically by the textual
+    representation of the attribute so that repeated runs converge to the
+    same solution.
+    """
+    offers = [attr for _, attr in srp.choices(node, labeling)]
+    if not offers:
+        return None
+    best = offers[0]
+    for attr in offers[1:]:
+        if srp.prefer(attr, best):
+            best = attr
+        elif srp.equally_preferred(attr, best) and _attribute_sort_key(attr) < _attribute_sort_key(best):
+            best = attr
+    return best
+
+
+def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
+    """Compute a stable solution by synchronous fixed-point iteration.
+
+    Every round recomputes each node's best choice from the previous
+    round's labeling; iteration stops when a full round changes nothing.
+
+    Raises
+    ------
+    ConvergenceError
+        If no fixed point is reached within ``max_rounds`` rounds (e.g. a
+        BGP dispute gadget that oscillates under synchronous updates).
+    """
+    labeling: Labeling = {node: None for node in srp.graph.nodes}
+    labeling[srp.destination] = srp.initial
+
+    for _ in range(max_rounds):
+        changed = False
+        new_labeling: Labeling = dict(labeling)
+        for node in srp.graph.nodes:
+            if node == srp.destination:
+                continue
+            best = _best_choice(srp, node, labeling)
+            if best != labeling[node]:
+                new_labeling[node] = best
+                changed = True
+        labeling = new_labeling
+        if not changed:
+            solution = Solution(srp=srp, labeling=labeling)
+            if solution.is_stable():
+                return solution
+            # A synchronous fixed point is always stable by construction,
+            # but guard against pathological transfer functions anyway.
+            raise ConvergenceError(
+                "synchronous fixed point reached an unstable labeling: "
+                + "; ".join(solution.violations())
+            )
+    raise ConvergenceError(f"no fixed point after {max_rounds} rounds")
+
+
+def solve_with_activation_order(
+    srp: SRP,
+    order: Optional[Sequence[Node]] = None,
+    seed: Optional[int] = None,
+    max_activations: int = 200_000,
+) -> Solution:
+    """Compute a stable solution with an asynchronous activation sequence.
+
+    Nodes are activated one at a time; an activated node recomputes its best
+    choice from the *current* labeling.  The process repeats (cycling over
+    ``order``) until a full pass changes nothing.
+
+    Parameters
+    ----------
+    order:
+        The activation order (a permutation of the non-destination nodes, or
+        any sequence -- missing nodes are appended).  When omitted, a
+        pseudo-random permutation derived from ``seed`` is used.
+    seed:
+        Seed for the pseudo-random order when ``order`` is not given.
+    """
+    nodes = [n for n in srp.graph.nodes if n != srp.destination]
+    if order is None:
+        rng = random.Random(seed)
+        order = list(nodes)
+        rng.shuffle(order)
+    else:
+        order = list(order) + [n for n in nodes if n not in order]
+
+    labeling: Labeling = {node: None for node in srp.graph.nodes}
+    labeling[srp.destination] = srp.initial
+
+    activations = 0
+    while activations < max_activations:
+        changed = False
+        for node in order:
+            if node == srp.destination:
+                continue
+            activations += 1
+            best = _best_choice(srp, node, labeling)
+            if best != labeling[node]:
+                labeling[node] = best
+                changed = True
+        if not changed:
+            solution = Solution(srp=srp, labeling=labeling)
+            if solution.is_stable():
+                return solution
+            raise ConvergenceError(
+                "asynchronous fixed point reached an unstable labeling: "
+                + "; ".join(solution.violations())
+            )
+    raise ConvergenceError(f"no fixed point after {max_activations} activations")
+
+
+def enumerate_solutions(
+    srp: SRP,
+    attempts: int = 20,
+    seed: int = 0,
+    max_permutations: Optional[int] = None,
+) -> List[Solution]:
+    """Explore distinct stable solutions by varying the activation order.
+
+    For small networks (at most 7 non-destination nodes, or when
+    ``max_permutations`` covers all orders) every permutation is tried;
+    otherwise ``attempts`` pseudo-random orders are sampled.  Solutions are
+    de-duplicated by their labeling.  The search is heuristic: BGP networks
+    can have solutions no activation order of this simple simulator reaches,
+    but it suffices for the gadgets studied in the paper.
+    """
+    nodes = [n for n in srp.graph.nodes if n != srp.destination]
+    solutions: List[Solution] = []
+    seen = set()
+
+    def record(solution: Solution) -> None:
+        key = tuple(sorted((str(k), repr(v)) for k, v in solution.labeling.items()))
+        if key not in seen:
+            seen.add(key)
+            solutions.append(solution)
+
+    exhaustive_limit = max_permutations if max_permutations is not None else 5040
+    total_orders = 1
+    for i in range(2, len(nodes) + 1):
+        total_orders *= i
+        if total_orders > exhaustive_limit:
+            break
+
+    if total_orders <= exhaustive_limit:
+        for order in itertools.permutations(nodes):
+            try:
+                record(solve_with_activation_order(srp, order=list(order)))
+            except ConvergenceError:
+                continue
+    else:
+        for attempt in range(attempts):
+            try:
+                record(solve_with_activation_order(srp, seed=seed + attempt))
+            except ConvergenceError:
+                continue
+    return solutions
+
+
+def has_stable_solution(srp: SRP, attempts: int = 10, seed: int = 0) -> bool:
+    """Heuristically report whether the SRP converges to some stable solution."""
+    try:
+        solve(srp)
+        return True
+    except ConvergenceError:
+        pass
+    for attempt in range(attempts):
+        try:
+            solve_with_activation_order(srp, seed=seed + attempt)
+            return True
+        except ConvergenceError:
+            continue
+    return False

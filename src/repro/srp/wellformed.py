@@ -1,0 +1,68 @@
+"""Well-formedness checks for SRP instances (§3.1).
+
+The paper defines two practical properties of well-formed SRPs:
+
+* **self-loop-freedom** -- the graph contains no edge ``(v, v)``;
+* **non-spontaneity** -- ``trans(e, ⊥) = ⊥``: a router cannot obtain a
+  route from a neighbour that has none.
+
+Static routing deliberately violates non-spontaneity (the transfer function
+ignores the neighbour's attribute), which is why the paper proves its
+correctness separately (Theorem 4.3); :func:`check_well_formed` therefore
+allows callers to skip that check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.srp.instance import SRP
+
+
+@dataclass
+class WellFormednessReport:
+    """Outcome of the well-formedness checks."""
+
+    self_loop_free: bool
+    non_spontaneous: bool
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def is_well_formed(self) -> bool:
+        return self.self_loop_free and self.non_spontaneous
+
+
+def check_well_formed(srp: SRP, require_non_spontaneous: bool = True) -> WellFormednessReport:
+    """Check the two well-formedness properties of an SRP instance.
+
+    Non-spontaneity is checked by evaluating ``trans(e, None)`` on every
+    edge, which is exact for the transfer functions built in this library
+    (they branch only on the attribute supplied).
+    """
+    problems: List[str] = []
+
+    self_loop_free = not srp.graph.has_self_loop()
+    if not self_loop_free:
+        loops = [(u, v) for u, v in srp.graph.edges if u == v]
+        problems.append(f"graph contains self loops: {loops}")
+
+    non_spontaneous = True
+    if require_non_spontaneous:
+        for edge in srp.graph.edges:
+            if srp.transfer(edge, None) is not None:
+                non_spontaneous = False
+                problems.append(f"edge {edge} spontaneously generates a route")
+                break
+    return WellFormednessReport(
+        self_loop_free=self_loop_free,
+        non_spontaneous=non_spontaneous if require_non_spontaneous else True,
+        problems=problems,
+    )
+
+
+def assert_well_formed(srp: SRP, require_non_spontaneous: bool = True) -> None:
+    """Raise ``ValueError`` if the SRP is not well-formed."""
+    report = check_well_formed(srp, require_non_spontaneous=require_non_spontaneous)
+    if not report.is_well_formed:
+        raise ValueError("SRP is not well-formed: " + "; ".join(report.problems))

@@ -1,0 +1,24 @@
+"""Network topology substrate: directed graphs and topology builders."""
+
+from repro.topology.graph import Edge, Graph, GraphError, Node
+from repro.topology.builders import (
+    chain_topology,
+    fattree_topology,
+    full_mesh_topology,
+    grid_topology,
+    ring_topology,
+    star_topology,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "GraphError",
+    "Node",
+    "chain_topology",
+    "fattree_topology",
+    "full_mesh_topology",
+    "grid_topology",
+    "ring_topology",
+    "star_topology",
+]

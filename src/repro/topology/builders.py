@@ -1,0 +1,172 @@
+"""Topology builders for the synthetic networks used in the evaluation.
+
+The paper evaluates Bonsai on three synthetic topology families (§8):
+
+* **Fattree** -- the standard k-ary fat-tree of Al-Fares et al. [1]; the
+  paper's 180-, 500- and 1125-node instances correspond to k = 12, 20, 30.
+* **Ring** -- a simple cycle of n routers.
+* **Full mesh** -- every pair of routers connected.
+
+Additional builders (chain, star, grid) are used by the examples and tests.
+
+All builders return a :class:`~repro.topology.graph.Graph` with undirected
+connectivity (both edge directions present) plus a metadata dictionary that
+records the role of each node (``core`` / ``aggregation`` / ``edge`` for
+fat-trees and so on).  Roles are used by the configuration generators in
+:mod:`repro.netgen` to assign per-role policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import Graph, Node
+
+
+def chain_topology(length: int, prefix: str = "r") -> Tuple[Graph, Dict[Node, str]]:
+    """A line of ``length`` routers ``r0 - r1 - ... - r{length-1}``."""
+    if length < 1:
+        raise ValueError("chain length must be >= 1")
+    g = Graph()
+    roles: Dict[Node, str] = {}
+    names = [f"{prefix}{i}" for i in range(length)]
+    for name in names:
+        g.add_node(name)
+        roles[name] = "chain"
+    for left, right in zip(names, names[1:]):
+        g.add_undirected_edge(left, right)
+    return g, roles
+
+
+def ring_topology(size: int, prefix: str = "r") -> Tuple[Graph, Dict[Node, str]]:
+    """A cycle of ``size`` routers.
+
+    Used for the Ring rows of Table 1(a).  Compression of a ring grows with
+    its diameter because path length must be preserved.
+    """
+    if size < 3:
+        raise ValueError("ring size must be >= 3")
+    g = Graph()
+    roles: Dict[Node, str] = {}
+    names = [f"{prefix}{i}" for i in range(size)]
+    for name in names:
+        g.add_node(name)
+        roles[name] = "ring"
+    for i, name in enumerate(names):
+        g.add_undirected_edge(name, names[(i + 1) % size])
+    return g, roles
+
+
+def full_mesh_topology(size: int, prefix: str = "r") -> Tuple[Graph, Dict[Node, str]]:
+    """A complete graph on ``size`` routers (Full Mesh rows of Table 1(a))."""
+    if size < 2:
+        raise ValueError("mesh size must be >= 2")
+    g = Graph()
+    roles: Dict[Node, str] = {}
+    names = [f"{prefix}{i}" for i in range(size)]
+    for name in names:
+        g.add_node(name)
+        roles[name] = "mesh"
+    for i, u in enumerate(names):
+        for v in names[i + 1:]:
+            g.add_undirected_edge(u, v)
+    return g, roles
+
+
+def star_topology(leaves: int, prefix: str = "r") -> Tuple[Graph, Dict[Node, str]]:
+    """One hub router connected to ``leaves`` leaf routers."""
+    if leaves < 1:
+        raise ValueError("star must have at least one leaf")
+    g = Graph()
+    roles: Dict[Node, str] = {}
+    hub = f"{prefix}hub"
+    g.add_node(hub)
+    roles[hub] = "hub"
+    for i in range(leaves):
+        leaf = f"{prefix}leaf{i}"
+        g.add_undirected_edge(hub, leaf)
+        roles[leaf] = "leaf"
+    return g, roles
+
+
+def grid_topology(rows: int, cols: int, prefix: str = "r") -> Tuple[Graph, Dict[Node, str]]:
+    """A rows x cols grid; useful as a moderately symmetric WAN-like mesh."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    g = Graph()
+    roles: Dict[Node, str] = {}
+
+    def name(r: int, c: int) -> str:
+        return f"{prefix}{r}_{c}"
+
+    for r in range(rows):
+        for c in range(cols):
+            g.add_node(name(r, c))
+            roles[name(r, c)] = "grid"
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_undirected_edge(name(r, c), name(r, c + 1))
+            if r + 1 < rows:
+                g.add_undirected_edge(name(r, c), name(r + 1, c))
+    return g, roles
+
+
+def fattree_topology(k: int) -> Tuple[Graph, Dict[Node, str]]:
+    """The k-ary fat-tree of Al-Fares et al.
+
+    The topology has ``(k/2)^2`` core switches, ``k`` pods each containing
+    ``k/2`` aggregation and ``k/2`` edge switches, for ``5 k^2 / 4`` nodes
+    total.  ``k`` must be even.
+
+    Node naming:
+
+    * ``core{i}``            -- core switches, ``i in [0, (k/2)^2)``
+    * ``agg{p}_{i}``         -- aggregation switch ``i`` of pod ``p``
+    * ``edge{p}_{i}``        -- edge (top-of-rack) switch ``i`` of pod ``p``
+
+    Roles returned are ``"core"``, ``"aggregation"`` and ``"edge"``.
+    """
+    if k < 2 or k % 2 != 0:
+        raise ValueError("fat-tree parameter k must be an even integer >= 2")
+    half = k // 2
+    g = Graph()
+    roles: Dict[Node, str] = {}
+
+    cores: List[str] = []
+    for i in range(half * half):
+        name = f"core{i}"
+        g.add_node(name)
+        roles[name] = "core"
+        cores.append(name)
+
+    for pod in range(k):
+        aggs = []
+        edges = []
+        for i in range(half):
+            agg = f"agg{pod}_{i}"
+            edge = f"edge{pod}_{i}"
+            g.add_node(agg)
+            g.add_node(edge)
+            roles[agg] = "aggregation"
+            roles[edge] = "edge"
+            aggs.append(agg)
+            edges.append(edge)
+        # Full bipartite connection between aggregation and edge layers of a pod.
+        for agg in aggs:
+            for edge in edges:
+                g.add_undirected_edge(agg, edge)
+        # Each aggregation switch i connects to core switches i*half .. i*half+half-1.
+        for i, agg in enumerate(aggs):
+            for j in range(half):
+                g.add_undirected_edge(agg, cores[i * half + j])
+
+    return g, roles
+
+
+def fattree_size_for_nodes(target_nodes: int) -> int:
+    """Smallest even ``k`` whose fat-tree has at least ``target_nodes`` nodes."""
+    k = 2
+    while 5 * k * k // 4 < target_nodes:
+        k += 2
+    return k

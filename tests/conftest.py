@@ -1,0 +1,86 @@
+"""Shared fixtures: the paper's running examples and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.prefix import Prefix
+from repro.netgen import (
+    DATACENTER_SMALL_SCALE,
+    WAN_SMALL_SCALE,
+    datacenter_network,
+    fattree_network,
+    full_mesh_network,
+    ring_network,
+    wan_network,
+)
+from repro.routing import SetLocalPref, build_bgp_srp, build_rip_srp
+from repro.topology import Graph
+
+
+@pytest.fixture
+def figure1_graph() -> Graph:
+    """The RIP network of Figure 1: a - b1 - d and a - b2 - d."""
+    g = Graph()
+    g.add_undirected_edge("a", "b1")
+    g.add_undirected_edge("a", "b2")
+    g.add_undirected_edge("b1", "d")
+    g.add_undirected_edge("b2", "d")
+    return g
+
+
+@pytest.fixture
+def figure1_srp(figure1_graph):
+    return build_rip_srp(figure1_graph, "d")
+
+
+@pytest.fixture
+def figure2_graph() -> Graph:
+    """The BGP gadget of Figure 2(a): a above b1,b2,b3 above d (6 edges)."""
+    g = Graph()
+    for b in ("b1", "b2", "b3"):
+        g.add_undirected_edge("a", b)
+        g.add_undirected_edge(b, "d")
+    return g
+
+
+@pytest.fixture
+def figure2_srp(figure2_graph):
+    """The gadget's SRP: the b routers prefer routes learned from a."""
+    imports = {(b, "a"): SetLocalPref(200) for b in ("b1", "b2", "b3")}
+    return build_bgp_srp(figure2_graph, "d", import_policies=imports)
+
+
+@pytest.fixture
+def small_fattree():
+    return fattree_network(4)
+
+
+@pytest.fixture
+def small_fattree_prefer_bottom():
+    return fattree_network(4, policy="prefer_bottom")
+
+
+@pytest.fixture
+def small_ring():
+    return ring_network(8)
+
+
+@pytest.fixture
+def small_mesh():
+    return full_mesh_network(6)
+
+
+@pytest.fixture
+def small_datacenter():
+    return datacenter_network(DATACENTER_SMALL_SCALE)
+
+
+@pytest.fixture
+def small_wan():
+    return wan_network(WAN_SMALL_SCALE)
+
+
+@pytest.fixture
+def some_prefix() -> Prefix:
+    return Prefix.parse("10.0.1.0/24")

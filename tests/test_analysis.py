@@ -1,0 +1,186 @@
+"""Tests for the data-plane, property checkers and the verification substitute."""
+
+import pytest
+
+from repro.abstraction import routable_equivalence_classes
+from repro.analysis import (
+    check_all_paths_reach,
+    check_black_hole,
+    check_multipath_consistency,
+    check_path_length,
+    check_reachability,
+    check_routing_loop,
+    check_waypointing,
+    compute_data_plane,
+    compute_forwarding_table,
+    path_lengths,
+    reachable_sources,
+    single_reachability_query,
+    verify_all_pairs_reachability,
+    verify_with_abstraction,
+)
+from repro.config import Prefix, parse_network
+
+BLACKHOLE_NETWORK = """
+device src
+  bgp-neighbor mid import IMP
+  route-map IMP 10 permit
+
+device mid
+  bgp-neighbor src export EXP
+  bgp-neighbor dst import IMP
+  route-map IMP 10 permit
+  route-map EXP 10 permit
+  acl BLOCK deny 10.0.1.0/24 default permit
+  interface-acl dst BLOCK
+
+device dst
+  network 10.0.1.0/24
+  bgp-neighbor mid export EXP
+  route-map EXP 10 permit
+
+link src mid
+link mid dst
+"""
+
+LOOP_NETWORK = """
+device a
+  static-route 10.0.1.0/24 next-hop b
+
+device b
+  static-route 10.0.1.0/24 next-hop a
+
+device dst
+  network 10.0.1.0/24
+
+link a b
+link b dst
+"""
+
+
+class TestForwardingTable:
+    def test_fattree_forwarding(self, small_fattree):
+        ec = routable_equivalence_classes(small_fattree)[0]
+        table = compute_forwarding_table(small_fattree, ec)
+        origin = next(iter(ec.origins))
+        assert table.delivers(origin)
+        for node in small_fattree.graph.nodes:
+            assert table.reachable(node)
+        outcome, path = table.path_outcome("edge1_1")
+        assert outcome == "delivered"
+        assert path[-1] == origin
+
+    def test_acl_blocks_data_plane_but_not_routes(self):
+        network = parse_network(BLACKHOLE_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        # mid learned the route but its outbound ACL towards dst drops the
+        # traffic: a black hole at mid (and hence for src).
+        assert table.next_hops["mid"] == set()
+        assert ("mid", "dst") in table.acl_blocked
+        assert not table.reachable("src")
+
+    def test_static_loop_detected(self):
+        network = parse_network(LOOP_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        outcome, path = table.path_outcome("a")
+        assert outcome == "loop"
+        assert path.count("a") == 2
+
+    def test_data_plane_table_lookup(self, small_fattree):
+        data_plane = compute_data_plane(small_fattree, limit=2)
+        assert len(data_plane.tables) == 2
+        some_prefix = next(iter(data_plane.tables))
+        assert data_plane.table_for(some_prefix) is not None
+        assert data_plane.reachable("core0", some_prefix)
+        assert data_plane.table_for(Prefix.parse("192.0.2.0/24")) is None
+
+
+class TestPropertyCheckers:
+    @pytest.fixture
+    def fattree_table(self, small_fattree):
+        ec = routable_equivalence_classes(small_fattree)[0]
+        return compute_forwarding_table(small_fattree, ec), ec
+
+    def test_reachability(self, fattree_table):
+        table, _ = fattree_table
+        assert check_reachability(table, "core0").holds
+        assert check_all_paths_reach(table, "edge1_0").holds
+
+    def test_path_lengths(self, fattree_table):
+        table, ec = fattree_table
+        origin = next(iter(ec.origins))
+        # Another edge switch in the same pod is exactly two hops away.
+        same_pod = "edge0_1" if origin != "edge0_1" else "edge0_0"
+        assert check_path_length(table, same_pod, 2).holds
+        assert not check_path_length(table, same_pod, 5).holds
+        assert path_lengths(table, same_pod) == {2}
+
+    def test_waypointing_through_aggregation(self, fattree_table):
+        table, _ = fattree_table
+        aggs = [n for n in table.next_hops if str(n).startswith("agg")]
+        cores_and_aggs = aggs + [n for n in table.next_hops if str(n).startswith("core")]
+        assert check_waypointing(table, "edge1_0", cores_and_aggs).holds
+        assert not check_waypointing(table, "edge1_0", ["edge3_1"]).holds
+
+    def test_no_blackhole_or_loop_in_fattree(self, fattree_table):
+        table, _ = fattree_table
+        assert not check_black_hole(table, "edge1_0").holds
+        assert not check_routing_loop(table).holds
+        assert check_multipath_consistency(table, "edge1_0").holds
+
+    def test_blackhole_detected(self):
+        network = parse_network(BLACKHOLE_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        assert check_black_hole(table, "src").holds
+        assert not check_reachability(table, "src").holds
+
+    def test_loop_detected(self):
+        network = parse_network(LOOP_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        assert check_routing_loop(table).holds
+
+    def test_reachable_sources(self, fattree_table):
+        table, _ = fattree_table
+        assert len(reachable_sources(table)) == 20
+
+
+class TestVerifier:
+    def test_concrete_and_abstract_agree_on_reachability(self, small_fattree):
+        concrete = verify_all_pairs_reachability(small_fattree)
+        abstract = verify_with_abstraction(small_fattree)
+        assert concrete.unreachable_pairs == 0
+        assert abstract.unreachable_pairs == 0
+        assert not concrete.timed_out and not abstract.timed_out
+        assert concrete.classes_checked == abstract.classes_checked == 8
+
+    def test_verification_detects_blackhole_on_both(self):
+        network = parse_network(BLACKHOLE_NETWORK)
+        concrete = verify_all_pairs_reachability(network)
+        abstract = verify_with_abstraction(network)
+        assert concrete.unreachable_pairs > 0
+        assert abstract.unreachable_pairs > 0
+
+    def test_timeout_reported(self, small_fattree):
+        result = verify_all_pairs_reachability(small_fattree, timeout_seconds=0.0)
+        assert result.timed_out
+        assert result.classes_checked == 0
+
+    def test_single_query_with_and_without_abstraction(self, small_fattree):
+        destination = Prefix.parse("10.0.1.0/24")
+        reachable_plain, _ = single_reachability_query(
+            small_fattree, "core0", destination, use_abstraction=False
+        )
+        reachable_abstract, _ = single_reachability_query(
+            small_fattree, "core0", destination, use_abstraction=True
+        )
+        assert reachable_plain and reachable_abstract
+
+    def test_single_query_unknown_destination(self, small_fattree):
+        reachable, _ = single_reachability_query(
+            small_fattree, "core0", Prefix.parse("203.0.113.0/24")
+        )
+        assert not reachable

@@ -1,0 +1,102 @@
+"""Unit tests for routing-message attributes."""
+
+import pytest
+
+from repro.routing import (
+    ADMIN_DISTANCE,
+    BgpAttribute,
+    OspfAttribute,
+    RibAttribute,
+    RipAttribute,
+    StaticAttribute,
+)
+
+
+class TestRipAttribute:
+    def test_increment(self):
+        assert RipAttribute(3).incremented() == RipAttribute(4)
+
+    def test_increment_at_limit_drops(self):
+        assert RipAttribute(15).incremented() is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RipAttribute(-1)
+
+    def test_ordering(self):
+        assert RipAttribute(1) < RipAttribute(2)
+
+
+class TestOspfAttribute:
+    def test_add_cost(self):
+        a = OspfAttribute(cost=5)
+        assert a.with_added_cost(3).cost == 8
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            OspfAttribute(cost=-1)
+        with pytest.raises(ValueError):
+            OspfAttribute(cost=1).with_added_cost(-2)
+
+    def test_crossing_area_marks_inter_area(self):
+        a = OspfAttribute(cost=5, inter_area=False, area=0)
+        crossed = a.crossing_area(2)
+        assert crossed.inter_area
+        assert crossed.area == 2
+        assert crossed.cost == 5
+
+
+class TestBgpAttribute:
+    def test_defaults(self):
+        a = BgpAttribute()
+        assert a.local_pref == 100
+        assert a.communities == frozenset()
+        assert a.as_path == ()
+        assert a.path_length == 0
+
+    def test_communities(self):
+        a = BgpAttribute().with_community("65001:1")
+        assert a.has_community("65001:1")
+        assert not a.without_community("65001:1").has_community("65001:1")
+
+    def test_prepend_and_loop_detection(self):
+        a = BgpAttribute().prepended("r1").prepended("r2")
+        assert a.as_path == ("r2", "r1")
+        assert a.contains_as("r1")
+        assert not a.contains_as("r3")
+
+    def test_with_local_pref(self):
+        assert BgpAttribute().with_local_pref(250).local_pref == 250
+
+    def test_negative_local_pref_rejected(self):
+        with pytest.raises(ValueError):
+            BgpAttribute(local_pref=-5)
+
+    def test_immutability(self):
+        a = BgpAttribute()
+        a.with_community("x")
+        assert a.communities == frozenset()
+
+
+class TestRibAttribute:
+    def test_best_protocol_order(self):
+        rib = RibAttribute(
+            bgp=BgpAttribute(), ospf=OspfAttribute(cost=1), static=StaticAttribute()
+        )
+        assert rib.best_protocol() == "static"
+        rib = RibAttribute(bgp=BgpAttribute(), ospf=OspfAttribute(cost=1))
+        assert rib.best_protocol() == "ebgp"
+        rib = RibAttribute(ospf=OspfAttribute(cost=1))
+        assert rib.best_protocol() == "ospf"
+
+    def test_empty(self):
+        rib = RibAttribute()
+        assert rib.is_empty
+        assert rib.best_protocol() is None
+
+    def test_invalid_chosen_rejected(self):
+        with pytest.raises(ValueError):
+            RibAttribute(chosen="bogus")
+
+    def test_admin_distances_follow_convention(self):
+        assert ADMIN_DISTANCE["static"] < ADMIN_DISTANCE["ebgp"] < ADMIN_DISTANCE["ospf"]

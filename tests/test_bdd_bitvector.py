@@ -1,0 +1,71 @@
+"""Unit tests for BDD bit-vector helpers."""
+
+import pytest
+
+from repro.bdd import BddManager, BitVector, FALSE, TRUE
+
+
+@pytest.fixture
+def setup():
+    manager = BddManager()
+    vector = BitVector.declare(manager, "ip", 8)
+    return manager, vector
+
+
+def test_declare_allocates_named_variables(setup):
+    manager, vector = setup
+    assert vector.width == 8
+    assert manager.var_name(vector.variables[0]) == "ip[0]"
+
+
+def test_invalid_width_rejected():
+    manager = BddManager()
+    with pytest.raises(ValueError):
+        BitVector.declare(manager, "x", 0)
+
+
+def test_equals_constant(setup):
+    manager, vector = setup
+    f = vector.equals_constant(0b10100110)
+    assert manager.evaluate(f, vector.assignment_for(0b10100110))
+    assert not manager.evaluate(f, vector.assignment_for(0b10100111))
+
+
+def test_equals_constant_out_of_range(setup):
+    _, vector = setup
+    with pytest.raises(ValueError):
+        vector.equals_constant(256)
+
+
+def test_matches_prefix(setup):
+    manager, vector = setup
+    # Match the top 3 bits of 0b101xxxxx.
+    f = vector.matches_prefix(0b10100000, 3)
+    assert manager.evaluate(f, vector.assignment_for(0b10111111))
+    assert not manager.evaluate(f, vector.assignment_for(0b11100000))
+    assert vector.matches_prefix(0, 0) == TRUE
+
+
+def test_range_constraints(setup):
+    manager, vector = setup
+    le = vector.less_or_equal(100)
+    ge = vector.greater_or_equal(50)
+    rng = vector.in_range(50, 100)
+    for value in (0, 49, 50, 99, 100, 101, 255):
+        assignment = vector.assignment_for(value)
+        assert manager.evaluate(le, assignment) == (value <= 100)
+        assert manager.evaluate(ge, assignment) == (value >= 50)
+        assert manager.evaluate(rng, assignment) == (50 <= value <= 100)
+
+
+def test_range_edge_cases(setup):
+    _, vector = setup
+    assert vector.less_or_equal(255) == TRUE
+    assert vector.greater_or_equal(0) == TRUE
+    assert vector.less_or_equal(-1) == FALSE
+
+
+def test_assignment_roundtrip(setup):
+    _, vector = setup
+    assignment = vector.assignment_for(0b11001010)
+    assert vector.decode(assignment) == 0b11001010

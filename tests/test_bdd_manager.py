@@ -1,0 +1,134 @@
+"""Unit tests for the ROBDD engine."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddError, BddManager
+
+
+@pytest.fixture
+def manager() -> BddManager:
+    return BddManager(num_vars=4)
+
+
+class TestBasics:
+    def test_terminals(self, manager):
+        assert FALSE == 0 and TRUE == 1
+        assert manager.apply_not(TRUE) == FALSE
+        assert manager.apply_not(FALSE) == TRUE
+
+    def test_var_and_nvar_are_complements(self, manager):
+        x = manager.var(0)
+        assert manager.apply_not(x) == manager.nvar(0)
+        assert manager.apply_or(x, manager.nvar(0)) == TRUE
+        assert manager.apply_and(x, manager.nvar(0)) == FALSE
+
+    def test_out_of_range_variable_rejected(self, manager):
+        with pytest.raises(BddError):
+            manager.var(99)
+        with pytest.raises(BddError):
+            manager.nvar(-1)
+
+    def test_add_var_extends_order(self):
+        manager = BddManager()
+        index = manager.add_var("custom")
+        assert manager.var_name(index) == "custom"
+        assert manager.var_index("custom") == index
+        with pytest.raises(BddError):
+            manager.var_index("missing")
+
+
+class TestCanonicity:
+    def test_hash_consing_makes_equal_functions_identical(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        left = manager.apply_or(manager.apply_and(a, b), manager.apply_and(a, manager.apply_not(b)))
+        assert left == a  # (a and b) or (a and not b) == a
+
+    def test_demorgan(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        lhs = manager.apply_not(manager.apply_and(a, b))
+        rhs = manager.apply_or(manager.apply_not(a), manager.apply_not(b))
+        assert lhs == rhs
+
+    def test_commutativity_gives_same_node(self, manager):
+        a, b = manager.var(2), manager.var(3)
+        assert manager.apply_and(a, b) == manager.apply_and(b, a)
+
+    def test_xor_and_iff(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        assert manager.apply_xor(a, a) == FALSE
+        assert manager.apply_iff(a, a) == TRUE
+        assert manager.apply_not(manager.apply_xor(a, b)) == manager.apply_iff(a, b)
+
+    def test_implies(self, manager):
+        a = manager.var(0)
+        assert manager.apply_implies(FALSE, a) == TRUE
+        assert manager.apply_implies(a, TRUE) == TRUE
+        assert manager.apply_implies(a, FALSE) == manager.apply_not(a)
+
+
+class TestOperations:
+    def test_conjoin_disjoin(self, manager):
+        vars_ = [manager.var(i) for i in range(3)]
+        conj = manager.conjoin(vars_)
+        assert manager.evaluate(conj, {0: True, 1: True, 2: True})
+        assert not manager.evaluate(conj, {0: True, 1: False, 2: True})
+        disj = manager.disjoin(vars_)
+        assert manager.evaluate(disj, {0: False, 1: False, 2: True})
+        assert manager.conjoin([]) == TRUE
+        assert manager.disjoin([]) == FALSE
+
+    def test_restrict(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, b)
+        assert manager.restrict(f, {0: True}) == b
+        assert manager.restrict(f, {0: False}) == FALSE
+        assert manager.restrict(f, {0: True, 1: True}) == TRUE
+
+    def test_exists_and_forall(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, b)
+        assert manager.exists(f, [0]) == b
+        assert manager.forall(f, [0]) == FALSE
+        g = manager.apply_or(a, b)
+        assert manager.forall(g, [0]) == b
+
+    def test_support(self, manager):
+        a, c = manager.var(0), manager.var(2)
+        f = manager.apply_or(a, c)
+        assert manager.support(f) == [0, 2]
+        assert manager.support(TRUE) == []
+
+    def test_evaluate_requires_assignment(self, manager):
+        f = manager.var(1)
+        with pytest.raises(BddError):
+            manager.evaluate(f, {})
+
+    def test_sat_count(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        assert manager.sat_count(TRUE, num_vars=4) == 16
+        assert manager.sat_count(FALSE, num_vars=4) == 0
+        assert manager.sat_count(a, num_vars=4) == 8
+        assert manager.sat_count(manager.apply_and(a, b), num_vars=4) == 4
+        assert manager.sat_count(manager.apply_xor(a, b), num_vars=4) == 8
+
+    def test_satisfying_assignments(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, manager.apply_not(b))
+        assignments = list(manager.satisfying_assignments(f))
+        assert assignments == [{0: True, 1: False}]
+
+    def test_size_and_expression(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, b)
+        assert manager.size(f) == 2
+        assert "x0" in manager.to_expression(f)
+        assert manager.to_expression(TRUE) == "true"
+
+    def test_cofactors_and_top_var(self, manager):
+        a, b = manager.var(0), manager.var(1)
+        f = manager.apply_and(a, b)
+        assert manager.top_var(f) == 0
+        low, high = manager.cofactors(f)
+        assert low == FALSE and high == b
+        with pytest.raises(BddError):
+            manager.top_var(TRUE)

@@ -1,0 +1,159 @@
+"""Unit tests for the effective-abstraction conditions (§4.1, Figure 8)."""
+
+import pytest
+
+from repro.abstraction import (
+    NetworkAbstraction,
+    check_bgp_effective,
+    check_dest_equivalence,
+    check_effective,
+    check_forall_exists,
+    check_forall_forall,
+    check_self_loop_free,
+    check_transfer_equivalence,
+)
+from repro.routing import build_rip_srp, build_bgp_srp
+from repro.topology import Graph
+
+
+@pytest.fixture
+def figure8_graph() -> Graph:
+    """Figure 8's concrete network: d - {b1, b2, c}, b1 - a1, b2 - a2."""
+    g = Graph()
+    g.add_undirected_edge("d", "b1")
+    g.add_undirected_edge("d", "b2")
+    g.add_undirected_edge("d", "c")
+    g.add_undirected_edge("b1", "a1")
+    g.add_undirected_edge("b2", "a2")
+    return g
+
+
+def make_abstraction(graph, node_map):
+    return NetworkAbstraction.from_node_map(graph, node_map)
+
+
+class TestDestEquivalence:
+    def test_destination_alone_ok(self, figure1_graph):
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "B", "d": "D"}
+        )
+        assert check_dest_equivalence(abstraction, "d").holds
+
+    def test_destination_shared_violates(self, figure1_graph):
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "D", "d": "D"}
+        )
+        report = check_dest_equivalence(abstraction, "d")
+        assert not report.holds
+        assert report.violations
+
+
+class TestForallExists:
+    def test_valid_abstraction_figure8(self, figure8_graph):
+        """Figure 8(b): grouping {a1, a2} and {b1, b2} with c separate is valid."""
+        node_map = {"d": "D", "b1": "B", "b2": "B", "a1": "A", "a2": "A", "c": "C"}
+        abstraction = make_abstraction(figure8_graph, node_map)
+        assert check_forall_exists(figure8_graph, abstraction).holds
+
+    def test_invalid_abstraction_figure8(self, figure8_graph):
+        """Figure 8(c): grouping c with the b routers is invalid because c has
+        no edge into the abstract a-node."""
+        node_map = {"d": "D", "b1": "BC", "b2": "BC", "c": "BC", "a1": "A", "a2": "A"}
+        abstraction = make_abstraction(figure8_graph, node_map)
+        report = check_forall_exists(figure8_graph, abstraction)
+        assert not report.holds
+        assert any("'c'" in violation for violation in report.violations)
+
+    def test_coarsest_abstraction_violates_on_figure2(self, figure2_graph):
+        """Figure 3(a): grouping a with the b routers violates ∀∃ because a
+        has no edge to the destination group."""
+        node_map = {"a": "X", "b1": "X", "b2": "X", "b3": "X", "d": "D"}
+        abstraction = make_abstraction(figure2_graph, node_map)
+        assert not check_forall_exists(figure2_graph, abstraction).holds
+
+
+class TestForallForall:
+    def test_holds_for_figure2_grouping(self, figure2_graph):
+        node_map = {"a": "A", "b1": "B", "b2": "B", "b3": "B", "d": "D"}
+        abstraction = make_abstraction(figure2_graph, node_map)
+        assert check_forall_forall(figure2_graph, abstraction).holds
+
+    def test_fails_when_some_pair_is_missing(self, figure8_graph):
+        node_map = {"d": "D", "b1": "B", "b2": "B", "a1": "A", "a2": "A", "c": "C"}
+        abstraction = make_abstraction(figure8_graph, node_map)
+        # b1 has no edge to a2, so the ∀∀ condition fails even though ∀∃ holds.
+        assert check_forall_exists(figure8_graph, abstraction).holds
+        assert not check_forall_forall(figure8_graph, abstraction).holds
+
+
+class TestTransferEquivalence:
+    def test_uniform_policies_pass(self, figure1_graph):
+        srp = build_rip_srp(figure1_graph, "d")
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "B", "d": "D"}
+        )
+        assert check_transfer_equivalence(srp, abstraction).holds
+
+    def test_mixed_policies_fail(self, figure1_graph):
+        srp = build_rip_srp(figure1_graph, "d")
+        keys = {edge: ("blocked" if edge == ("b1", "d") else "allow",) for edge in figure1_graph.edges}
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "B", "d": "D"}
+        )
+        report = check_transfer_equivalence(srp, abstraction, policy_keys=keys)
+        assert not report.holds
+
+
+class TestSelfLoopFree:
+    def test_self_loop_in_hand_built_abstract_graph_detected(self):
+        """Induced abstractions drop intra-group edges (as Bonsai does for
+        full meshes), but a hand-built abstract graph with a self loop must
+        still be rejected."""
+        g = Graph()
+        g.add_undirected_edge("a", "b")
+        abstract = Graph()
+        abstract.add_edge("X", "X")
+        abstraction = NetworkAbstraction(
+            node_map={"a": "X", "b": "X"}, abstract_graph=abstract
+        )
+        assert not check_self_loop_free(abstraction).holds
+
+    def test_induced_abstraction_of_adjacent_group_drops_internal_edges(self):
+        g = Graph()
+        g.add_undirected_edge("a", "b")
+        g.add_undirected_edge("b", "c")
+        abstraction = make_abstraction(g, {"a": "X", "b": "X", "c": "C"})
+        assert check_self_loop_free(abstraction).holds
+        assert not abstraction.abstract_graph.has_edge("X", "X")
+
+    def test_no_self_loop_ok(self, figure1_graph):
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "B", "d": "D"}
+        )
+        assert check_self_loop_free(abstraction).holds
+
+
+class TestAggregateReports:
+    def test_effective_report_for_good_abstraction(self, figure1_srp, figure1_graph):
+        abstraction = make_abstraction(
+            figure1_graph, {"a": "A", "b1": "B", "b2": "B", "d": "D"}
+        )
+        report = check_effective(figure1_srp, abstraction)
+        assert report.is_effective
+        assert report.failed() == []
+        assert "ok" in report.summary()
+
+    def test_bgp_effective_report(self, figure2_srp, figure2_graph):
+        abstraction = make_abstraction(
+            figure2_graph, {"a": "A", "b1": "B", "b2": "B", "b3": "B", "d": "D"}
+        )
+        report = check_bgp_effective(figure2_srp, abstraction)
+        assert report.is_effective
+
+    def test_report_lists_failures(self, figure2_srp, figure2_graph):
+        node_map = {"a": "X", "b1": "X", "b2": "X", "b3": "X", "d": "D"}
+        abstraction = make_abstraction(figure2_graph, node_map)
+        report = check_effective(figure2_srp, abstraction)
+        assert not report.is_effective
+        assert any(not condition.holds for condition in report.failed())
+        assert "VIOLATED" in report.summary()

@@ -1,0 +1,141 @@
+"""Tests for destination equivalence classes and the Bonsai pipeline (§5, §7)."""
+
+import pytest
+
+from repro.abstraction import (
+    Bonsai,
+    classes_for_destination,
+    classes_rooted_at,
+    compute_equivalence_classes,
+    routable_equivalence_classes,
+)
+from repro.abstraction.equivalence import check_cp_equivalence
+from repro.config import Prefix, build_srp_from_network
+from repro.srp import solve
+
+
+class TestEquivalenceClasses:
+    def test_fattree_one_class_per_tor_prefix(self, small_fattree):
+        classes = routable_equivalence_classes(small_fattree)
+        assert len(classes) == 8  # k=4 fat-tree has 8 edge switches
+        for ec in classes:
+            assert len(ec.origins) == 1
+            assert ec.is_routable
+
+    def test_unroutable_classes_filtered(self, small_datacenter):
+        all_classes = compute_equivalence_classes(small_datacenter)
+        routable = routable_equivalence_classes(small_datacenter)
+        assert len(routable) <= len(all_classes)
+
+    def test_classes_for_destination_overlap_query(self, small_fattree):
+        classes = classes_for_destination(small_fattree, Prefix.parse("10.0.1.0/24"))
+        assert len(classes) == 1
+        assert classes[0].prefix == Prefix.parse("10.0.1.0/24")
+        assert classes_for_destination(small_fattree, Prefix.parse("172.16.0.0/16")) == []
+
+    def test_classes_rooted_at_device(self, small_fattree):
+        classes = classes_rooted_at(small_fattree, "edge0_0")
+        assert len(classes) == 1
+        assert classes[0].origins == frozenset({"edge0_0"})
+
+
+class TestBonsaiPipeline:
+    def test_fattree_compresses_to_paper_size(self, small_fattree):
+        bonsai = Bonsai(small_fattree)
+        result = bonsai.compress(bonsai.equivalence_classes()[0])
+        assert result.abstract_nodes == 6
+        assert result.abstract_edges == 5
+        assert result.node_compression_ratio() == pytest.approx(20 / 6)
+
+    def test_compression_is_cp_equivalent(self, small_fattree):
+        bonsai = Bonsai(small_fattree)
+        ec = bonsai.equivalence_classes()[0]
+        result = bonsai.compress(ec, build_network=True)
+        report = check_cp_equivalence(
+            result.concrete_srp, result.abstraction, abstract_srp=result.abstract_srp()
+        )
+        assert report.cp_equivalent, report.violations
+
+    def test_bdd_and_syntactic_keys_agree_on_fattree(self, small_fattree):
+        with_bdds = Bonsai(small_fattree, use_bdds=True)
+        without = Bonsai(small_fattree, use_bdds=False)
+        ec = with_bdds.equivalence_classes()[0]
+        assert with_bdds.compress(ec).abstract_nodes == without.compress(ec).abstract_nodes
+
+    def test_compress_all_and_summary(self, small_mesh):
+        bonsai = Bonsai(small_mesh)
+        results = bonsai.compress_all(limit=3)
+        assert len(results) == 3
+        summary = bonsai.summarize(results)
+        assert summary.concrete_nodes == 6
+        assert summary.mean_abstract_nodes == pytest.approx(2.0)
+        assert summary.node_ratio == pytest.approx(3.0)
+        row = summary.as_row()
+        assert row["topology"] == "mesh-6"
+        assert row["num_ecs"] == 6
+
+    def test_summary_requires_results(self, small_mesh):
+        with pytest.raises(ValueError):
+            Bonsai(small_mesh).summarize([])
+
+    def test_compress_prefix_convenience(self, small_fattree):
+        bonsai = Bonsai(small_fattree)
+        result = bonsai.compress_prefix(Prefix.parse("10.0.1.0/24"))
+        assert result.abstract_nodes == 6
+
+    def test_unique_roles_small_fattree(self, small_fattree):
+        bonsai = Bonsai(small_fattree)
+        # Shortest-path fat-tree devices differ only in whether they
+        # originate a prefix, not in policy: a handful of roles.
+        assert 1 <= bonsai.unique_roles() <= 3
+
+    def test_prefer_bottom_compresses_less(self, small_fattree, small_fattree_prefer_bottom):
+        plain = Bonsai(small_fattree)
+        policy = Bonsai(small_fattree_prefer_bottom)
+        ec_plain = plain.equivalence_classes()[0]
+        ec_policy = policy.equivalence_classes()[0]
+        assert policy.compress(ec_policy).abstract_nodes > plain.compress(ec_plain).abstract_nodes
+
+
+class TestAbstractNetworkOutput:
+    def test_abstract_network_is_valid_and_small(self, small_fattree):
+        bonsai = Bonsai(small_fattree)
+        ec = bonsai.equivalence_classes()[0]
+        result = bonsai.compress(ec, build_network=True)
+        abstract = result.abstract_network
+        assert abstract is not None
+        assert abstract.graph.num_nodes() == result.abstract_nodes
+        assert abstract.validate() == []
+
+    def test_abstract_network_preserves_reachability(self, small_fattree):
+        """Simulating the emitted abstract configurations gives routes to the
+        same destination everywhere, like the concrete network."""
+        bonsai = Bonsai(small_fattree)
+        ec = bonsai.equivalence_classes()[0]
+        result = bonsai.compress(ec, build_network=True)
+        abstract = result.abstract_network
+
+        concrete_solution = solve(result.concrete_srp)
+        abstract_srp = build_srp_from_network(abstract, ec.prefix)
+        abstract_solution = solve(abstract_srp)
+
+        concrete_routed = all(
+            concrete_solution.labeling[node] is not None
+            for node in small_fattree.graph.nodes
+        )
+        abstract_routed = all(
+            abstract_solution.labeling[node] is not None
+            for node in abstract.graph.nodes
+        )
+        assert concrete_routed and abstract_routed
+
+    def test_abstract_network_keeps_origin_and_statics(self, small_datacenter):
+        bonsai = Bonsai(small_datacenter)
+        ec = bonsai.equivalence_classes()[0]
+        result = bonsai.compress(ec, build_network=True)
+        abstract = result.abstract_network
+        assert abstract is not None
+        origins = [
+            name for name, dev in abstract.devices.items() if dev.originates(ec.prefix)
+        ]
+        assert len(origins) >= 1

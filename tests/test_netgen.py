@@ -1,0 +1,134 @@
+"""Tests for the configured-network generators (evaluation workloads)."""
+
+import pytest
+
+from repro.abstraction import Bonsai, routable_equivalence_classes
+from repro.config import Prefix
+from repro.netgen import (
+    DATACENTER_PAPER_SCALE,
+    WAN_PAPER_SCALE,
+    DatacenterParams,
+    WanParams,
+    datacenter_network,
+    fattree_network,
+    full_mesh_network,
+    prefix_for_index,
+    ring_network,
+    wan_network,
+)
+from repro.srp import solve
+from repro.config.transfer import build_srp_from_network
+
+
+class TestBase:
+    def test_prefix_allocation_unique(self):
+        prefixes = {prefix_for_index(i) for i in range(300)}
+        assert len(prefixes) == 300
+
+    def test_prefix_allocation_bounds(self):
+        with pytest.raises(ValueError):
+            prefix_for_index(-1)
+        with pytest.raises(ValueError):
+            prefix_for_index(256 * 256)
+
+
+class TestSyntheticGenerators:
+    def test_fattree_network_valid(self, small_fattree):
+        assert small_fattree.validate() == []
+        assert small_fattree.graph.num_nodes() == 20
+        assert len(routable_equivalence_classes(small_fattree)) == 8
+
+    def test_fattree_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            fattree_network(4, policy="bogus")
+
+    def test_fattree_prefer_bottom_has_two_prefs_on_aggregation(self, small_fattree_prefer_bottom):
+        prefix = Prefix.parse("10.0.0.0/24")
+        srp = build_srp_from_network(small_fattree_prefer_bottom, prefix)
+        assert srp.prefs("agg1_0") == (100, 200)
+        assert srp.prefs("core0") == (100,)
+
+    def test_ring_and_mesh_networks_valid(self, small_ring, small_mesh):
+        assert small_ring.validate() == []
+        assert small_mesh.validate() == []
+        assert small_ring.graph.num_undirected_edges() == 8
+        assert small_mesh.graph.num_undirected_edges() == 15
+
+    def test_fattree_routes_converge(self, small_fattree):
+        ec = routable_equivalence_classes(small_fattree)[0]
+        srp = build_srp_from_network(small_fattree, ec.prefix)
+        solution = solve(srp)
+        assert all(solution.labeling[node] is not None for node in small_fattree.graph.nodes)
+
+
+class TestDatacenter:
+    def test_paper_scale_node_count(self):
+        assert DATACENTER_PAPER_SCALE.total_devices == 197
+
+    def test_small_datacenter_valid_and_routable(self, small_datacenter):
+        assert small_datacenter.validate() == []
+        classes = routable_equivalence_classes(small_datacenter)
+        assert classes
+        srp = build_srp_from_network(small_datacenter, classes[0].prefix)
+        solution = solve(srp)
+        origin = next(iter(classes[0].origins))
+        assert solution.labeling[origin] is not None
+
+    def test_unused_communities_present(self, small_datacenter):
+        unused = small_datacenter.unused_communities()
+        assert unused  # the cluster tags are attached but never matched
+
+    def test_custom_params(self):
+        params = DatacenterParams(clusters=2, spines_per_cluster=2, leaves_per_cluster=3,
+                                  core_routers=1, static_leaves_per_cluster=0)
+        network = datacenter_network(params)
+        assert network.graph.num_nodes() == params.total_devices == 11
+        assert network.validate() == []
+
+    def test_role_diversity_between_clusters(self, small_datacenter):
+        bonsai = Bonsai(small_datacenter)
+        # Spines of different clusters use different export filters, so the
+        # network has more than the three topological roles.
+        assert bonsai.unique_roles(Prefix.parse("10.0.0.0/24")) >= 3
+
+    def test_compression_shrinks_datacenter(self, small_datacenter):
+        bonsai = Bonsai(small_datacenter)
+        results = bonsai.compress_all(limit=2)
+        summary = bonsai.summarize(results)
+        assert summary.mean_abstract_nodes < small_datacenter.graph.num_nodes()
+        assert summary.node_ratio > 1.5
+
+
+class TestWan:
+    def test_paper_scale_node_count(self):
+        assert WAN_PAPER_SCALE.total_devices == 1086
+
+    def test_small_wan_valid(self, small_wan):
+        assert small_wan.validate() == []
+        assert small_wan.graph.num_nodes() == WanParams(
+            core_routers=2, regions=3, access_per_region=4, static_access_per_region=1
+        ).total_devices
+
+    def test_wan_uses_multiple_protocols(self, small_wan):
+        has_ospf = any(dev.ospf_links for dev in small_wan.devices.values())
+        has_static = any(dev.static_routes for dev in small_wan.devices.values())
+        has_ibgp = any(
+            session.ibgp
+            for dev in small_wan.devices.values()
+            for session in dev.bgp_neighbors.values()
+        )
+        assert has_ospf and has_static and has_ibgp
+
+    def test_wan_routes_converge(self, small_wan):
+        classes = routable_equivalence_classes(small_wan)
+        region_class = next(ec for ec in classes if next(iter(ec.origins)).startswith("hub"))
+        srp = build_srp_from_network(small_wan, region_class.prefix)
+        solution = solve(srp)
+        # Every access router in some region reaches the hub's aggregate.
+        assert solution.labeling["r0a0"] is not None
+
+    def test_compression_shrinks_wan(self, small_wan):
+        bonsai = Bonsai(small_wan)
+        results = bonsai.compress_all(limit=2)
+        summary = bonsai.summarize(results)
+        assert summary.node_ratio > 1.3

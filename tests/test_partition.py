@@ -1,0 +1,101 @@
+"""Unit tests for the union-split-find partition structure."""
+
+import pytest
+
+from repro.abstraction import PartitionError, UnionSplitFind
+
+
+def test_initial_partition_is_single_group():
+    p = UnionSplitFind(["a", "b", "c"])
+    assert p.num_groups() == 1
+    assert p.same_group("a", "c")
+    assert set(p.partitions()[0]) == {"a", "b", "c"}
+
+
+def test_empty_node_set_rejected():
+    with pytest.raises(PartitionError):
+        UnionSplitFind([])
+
+
+def test_duplicate_nodes_rejected():
+    with pytest.raises(PartitionError):
+        UnionSplitFind(["a", "a"])
+
+
+def test_split_moves_subset_to_new_group():
+    p = UnionSplitFind(["a", "b", "c", "d"])
+    new_group = p.split({"a", "b"})
+    assert p.num_groups() == 2
+    assert p.same_group("a", "b")
+    assert not p.same_group("a", "c")
+    assert p.members(new_group) == frozenset({"a", "b"})
+
+
+def test_split_whole_group_is_noop():
+    p = UnionSplitFind(["a", "b"])
+    group = p.find("a")
+    assert p.split({"a", "b"}) == group
+    assert p.num_groups() == 1
+
+
+def test_split_across_groups_rejected():
+    p = UnionSplitFind(["a", "b", "c"])
+    p.split({"a"})
+    with pytest.raises(PartitionError):
+        p.split({"a", "b"})
+
+
+def test_split_empty_rejected():
+    p = UnionSplitFind(["a"])
+    with pytest.raises(PartitionError):
+        p.split(set())
+
+
+def test_find_unknown_node_rejected():
+    p = UnionSplitFind(["a"])
+    with pytest.raises(PartitionError):
+        p.find("zzz")
+    with pytest.raises(PartitionError):
+        p.members(999)
+
+
+def test_split_by_key_groups_members():
+    p = UnionSplitFind(["a", "b", "c", "d"])
+    group = p.find("a")
+    result = p.split_by_key(group, {"a": 1, "b": 1, "c": 2, "d": 3})
+    assert len(result) == 3
+    assert p.same_group("a", "b")
+    assert not p.same_group("a", "c")
+    assert not p.same_group("c", "d")
+
+
+def test_split_by_key_single_key_is_noop():
+    p = UnionSplitFind(["a", "b"])
+    group = p.find("a")
+    assert p.split_by_key(group, {"a": 1, "b": 1}) == [group]
+
+
+def test_split_by_key_missing_nodes_get_own_groups():
+    p = UnionSplitFind(["a", "b", "c"])
+    p.split_by_key(p.find("a"), {"a": 1, "b": 1})
+    assert p.same_group("a", "b")
+    assert not p.same_group("a", "c")
+
+
+def test_canonical_names_are_deterministic():
+    p = UnionSplitFind(["b", "a", "c"])
+    p.split({"c"})
+    names1 = p.canonical_names()
+    names2 = p.canonical_names()
+    assert names1 == names2
+    assert names1["a"] == names1["b"]
+    assert names1["a"] != names1["c"]
+
+
+def test_dunder_helpers():
+    p = UnionSplitFind(["a", "b"])
+    assert len(p) == 1
+    assert "a" in p
+    assert "zzz" not in p
+    assert set(p.nodes()) == {"a", "b"}
+    assert p.as_mapping()["a"] == p.find("a")

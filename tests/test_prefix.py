@@ -1,0 +1,100 @@
+"""Unit tests for IPv4 prefixes and the prefix trie (§5.1)."""
+
+import pytest
+
+from repro.config import Prefix, PrefixTrie
+
+
+class TestPrefix:
+    def test_parse_and_str_roundtrip(self):
+        p = Prefix.parse("10.1.2.0/24")
+        assert str(p) == "10.1.2.0/24"
+        assert p.length == 24
+
+    def test_bare_address_is_host_route(self):
+        assert Prefix.parse("192.168.1.1").length == 32
+
+    def test_malformed_addresses_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0/24")
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.300/24")
+        with pytest.raises(ValueError):
+            Prefix.parse("10.0.0.0/40")
+
+    def test_host_bits_are_normalised(self):
+        assert Prefix.parse("10.1.2.3/24") == Prefix.parse("10.1.2.0/24")
+
+    def test_containment(self):
+        aggregate = Prefix.parse("10.0.0.0/8")
+        subnet = Prefix.parse("10.1.2.0/24")
+        assert aggregate.contains(subnet)
+        assert not subnet.contains(aggregate)
+        assert aggregate.contains(aggregate)
+
+    def test_overlap_is_symmetric_containment(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.3.0.0/16")
+        c = Prefix.parse("192.168.0.0/16")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_address_range(self):
+        p = Prefix.parse("10.0.1.0/24")
+        assert p.first_address() == p.address
+        assert p.last_address() - p.first_address() == 255
+
+    def test_bits_and_child(self):
+        p = Prefix.parse("128.0.0.0/1")
+        assert p.bits() == (1,)
+        assert p.child(0) == Prefix.parse("128.0.0.0/2")
+        assert p.child(1) == Prefix.parse("192.0.0.0/2")
+
+    def test_child_of_host_route_rejected(self):
+        with pytest.raises(ValueError):
+            Prefix.parse("1.2.3.4/32").child(0)
+
+    def test_ordering_is_total(self):
+        prefixes = [Prefix.parse("10.0.0.0/8"), Prefix.parse("9.0.0.0/8")]
+        assert sorted(prefixes)[0] == Prefix.parse("9.0.0.0/8")
+
+
+class TestPrefixTrie:
+    def test_insert_and_len(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"))
+        trie.insert(Prefix.parse("10.1.0.0/16"))
+        trie.insert(Prefix.parse("10.1.0.0/16"))
+        assert len(trie) == 2
+
+    def test_longest_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"))
+        trie.insert(Prefix.parse("10.1.0.0/16"))
+        assert trie.longest_match(Prefix.parse("10.1.2.0/24")) == Prefix.parse("10.1.0.0/16")
+        assert trie.longest_match(Prefix.parse("10.9.0.0/16")) == Prefix.parse("10.0.0.0/8")
+        assert trie.longest_match(Prefix.parse("11.0.0.0/8")) is None
+
+    def test_origins_inherited_from_longest_match(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), origins=["core"])
+        trie.insert(Prefix.parse("10.1.0.0/16"), origins=["leaf1"])
+        assert trie.origins_for(Prefix.parse("10.1.5.0/24")) == {"leaf1"}
+        assert trie.origins_for(Prefix.parse("10.9.0.0/16")) == {"core"}
+
+    def test_equivalence_classes_inherit_origins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), origins=["core"])
+        trie.insert(Prefix.parse("10.1.0.0/16"))  # referenced but not originated
+        classes = dict(trie.equivalence_classes())
+        assert classes[Prefix.parse("10.0.0.0/8")] == {"core"}
+        assert classes[Prefix.parse("10.1.0.0/16")] == {"core"}
+
+    def test_marked_prefixes_sorted_by_trie_walk(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("192.168.0.0/16"))
+        trie.insert(Prefix.parse("10.0.0.0/8"))
+        marked = trie.marked_prefixes()
+        assert marked[0] == Prefix.parse("10.0.0.0/8")
+        assert len(marked) == 2
+        assert list(iter(trie)) == marked

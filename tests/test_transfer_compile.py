@@ -1,0 +1,196 @@
+"""Unit tests for compiling configurations into SRPs (config.transfer)."""
+
+import pytest
+
+from repro.config import (
+    Network,
+    Prefix,
+    VIRTUAL_DESTINATION,
+    build_srp_from_network,
+    compile_edges,
+    parse_network,
+    specialize_route_map,
+    syntactic_policy_keys,
+)
+from repro.config.device import DeviceConfig
+from repro.config.routemap import (
+    CommunityList,
+    PrefixList,
+    PrefixListEntry,
+    RouteMap,
+    RouteMapClause,
+)
+from repro.srp import solve
+from repro.topology import Graph
+
+DEST = Prefix.parse("10.0.1.0/24")
+
+NETWORK_TEXT = """
+device leaf
+  network 10.0.1.0/24
+  bgp-neighbor spine export EXPORT
+  route-map EXPORT 10 permit
+    match prefix-list OWN
+  prefix-list OWN permit 10.0.1.0/24
+
+device spine
+  bgp-neighbor leaf import IMPORT
+  bgp-neighbor edge export EXPORT-ALL
+  route-map IMPORT 10 permit
+    set local-preference 200
+  route-map EXPORT-ALL 10 permit
+
+device edge
+  bgp-neighbor spine import IMPORT-ALL
+  route-map IMPORT-ALL 10 permit
+
+link leaf spine
+link spine edge
+"""
+
+
+@pytest.fixture
+def network() -> Network:
+    return parse_network(NETWORK_TEXT)
+
+
+class TestCompileEdges:
+    def test_bgp_sessions_detected(self, network):
+        compiled = compile_edges(network, DEST)
+        info = compiled[("spine", "leaf")]
+        assert info.has_bgp
+        assert info.export_map.name == "EXPORT"
+        assert info.import_map.name == "IMPORT"
+
+    def test_session_requires_both_sides(self, network):
+        network.devices["edge"].bgp_neighbors.clear()
+        compiled = compile_edges(network, DEST)
+        assert not compiled[("edge", "spine")].has_bgp
+
+    def test_static_route_detected_for_matching_destination(self, network):
+        from repro.config.device import StaticRouteConfig
+
+        network.devices["edge"].static_routes.append(
+            StaticRouteConfig(prefix=DEST, next_hop="spine")
+        )
+        compiled = compile_edges(network, DEST)
+        assert compiled[("edge", "spine")].has_static
+        other = compile_edges(network, Prefix.parse("10.0.9.0/24"))
+        assert not other[("edge", "spine")].has_static
+
+    def test_acl_evaluated_against_destination(self, network):
+        from repro.config.acl import Acl, AclLine
+
+        edge = network.devices["edge"]
+        edge.acls["BLOCK"] = Acl(
+            name="BLOCK", lines=(AclLine(action="deny", prefix=DEST),), default_action="permit"
+        )
+        edge.interface_acls["spine"] = "BLOCK"
+        compiled = compile_edges(network, DEST)
+        assert not compiled[("edge", "spine")].acl_permits
+        other = compile_edges(network, Prefix.parse("10.0.9.0/24"))
+        assert other[("edge", "spine")].acl_permits
+
+
+class TestSpecializeRouteMap:
+    def device(self) -> DeviceConfig:
+        device = DeviceConfig(name="r")
+        device.prefix_lists["OWN"] = PrefixList(
+            name="OWN", entries=(PrefixListEntry(prefix=DEST),)
+        )
+        device.community_lists["tags"] = CommunityList(name="tags", communities=("65001:1",))
+        return device
+
+    def test_prefix_clause_dropped_when_it_cannot_match(self):
+        device = self.device()
+        route_map = RouteMap(
+            name="M",
+            clauses=(
+                RouteMapClause(sequence=10, action="permit", match_prefix_lists=("OWN",)),
+            ),
+        )
+        matching = specialize_route_map(route_map, device, DEST)
+        not_matching = specialize_route_map(route_map, device, Prefix.parse("10.0.2.0/24"))
+        assert matching != not_matching
+        assert not_matching == ("deny-all",)
+
+    def test_community_lists_resolved_to_values(self):
+        device = self.device()
+        route_map = RouteMap(
+            name="M",
+            clauses=(
+                RouteMapClause(
+                    sequence=10, action="permit", match_community_lists=("tags",)
+                ),
+            ),
+        )
+        key = specialize_route_map(route_map, device, DEST)
+        assert frozenset({"65001:1"}) in key[0]
+
+    def test_ignored_communities_removed_from_set_actions(self):
+        device = self.device()
+        route_map = RouteMap(
+            name="M",
+            clauses=(
+                RouteMapClause(sequence=10, action="permit", set_communities=("junk", "keep")),
+            ),
+        )
+        with_junk = specialize_route_map(route_map, device, DEST)
+        without = specialize_route_map(
+            route_map, device, DEST, ignore_communities=frozenset({"junk"})
+        )
+        assert with_junk != without
+
+    def test_missing_route_map_is_permit_all(self):
+        assert specialize_route_map(None, self.device(), DEST) == ("permit-all",)
+
+
+class TestBuildSrp:
+    def test_solution_propagates_with_policies(self, network):
+        srp = build_srp_from_network(network, DEST)
+        solution = solve(srp)
+        assert solution.labeling["spine"].bgp.local_pref == 200
+        assert solution.labeling["spine"].bgp.as_path == ("leaf",)
+        assert solution.labeling["edge"].bgp.as_path == ("spine", "leaf")
+        assert solution.next_hops("edge") == {"spine"}
+
+    def test_unoriginated_destination_rejected(self, network):
+        with pytest.raises(ValueError):
+            build_srp_from_network(network, Prefix.parse("192.168.0.0/16"))
+
+    def test_node_prefs_from_configs(self, network):
+        srp = build_srp_from_network(network, DEST)
+        assert srp.prefs("spine") == (100, 200)
+        assert srp.prefs("edge") == (100,)
+
+    def test_multiple_origins_get_virtual_destination(self, network):
+        network.devices["edge"].originated_prefixes.append(DEST)
+        srp = build_srp_from_network(network, DEST)
+        assert srp.destination == VIRTUAL_DESTINATION
+        solution = solve(srp)
+        assert solution.labeling["leaf"] is not None
+        assert solution.labeling["edge"] is not None
+
+    def test_export_filter_blocks_other_prefixes(self, network):
+        # leaf's EXPORT map only permits 10.0.1.0/24; originate a second
+        # prefix and check it does not propagate.
+        other = Prefix.parse("10.0.5.0/24")
+        network.devices["leaf"].originated_prefixes.append(other)
+        srp = build_srp_from_network(network, other)
+        solution = solve(srp)
+        assert solution.labeling["spine"] is None
+        assert solution.labeling["edge"] is None
+
+
+class TestSyntacticPolicyKeys:
+    def test_symmetric_edges_share_keys(self, small_fattree):
+        prefix = Prefix.parse("10.0.0.0/24")
+        keys = syntactic_policy_keys(small_fattree, prefix)
+        # Two different core switches' sessions towards aggregation
+        # switches carry identical policy.
+        assert keys[("core0", "agg0_0")] == keys[("core1", "agg0_0")]
+
+    def test_keys_differ_when_policy_differs(self, network):
+        prefix = DEST
+        keys = syntactic_policy_keys(network, prefix)
+        assert keys[("spine", "leaf")] != keys[("edge", "spine")]
