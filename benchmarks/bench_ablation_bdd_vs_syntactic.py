@@ -11,7 +11,6 @@ canonicalisation of specialized route maps on two workloads:
   only the BDD keys recover the smaller abstraction.
 """
 
-import pytest
 
 from conftest import record_row
 from repro import Bonsai, fattree_network

@@ -9,13 +9,11 @@ compressed network (including compression time) is not slower than on the
 concrete network, with the gap growing with network size.
 """
 
-import pytest
 
 from conftest import full_scale, record_row
 from repro import datacenter_network
 from repro.abstraction import routable_equivalence_classes
 from repro.analysis import single_reachability_query
-from repro.netgen import DATACENTER_SMALL_SCALE
 
 FIGURE = "Section 8: single reachability query (Batfish-style)"
 

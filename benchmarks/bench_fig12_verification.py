@@ -62,7 +62,6 @@ def test_fig12_verification_speedup(benchmark, family):
 
     measurements = benchmark.pedantic(run, rounds=1, iterations=1)
 
-    last_speedup = None
     for size, nodes, concrete, abstract in measurements:
         concrete_time = "timeout" if concrete.timed_out else f"{concrete.seconds:7.2f}s"
         abstract_time = "timeout" if abstract.timed_out else f"{abstract.total_seconds:7.2f}s"
@@ -75,7 +74,6 @@ def test_fig12_verification_speedup(benchmark, family):
             f"{family:>8} n={nodes:<5} concrete {concrete_time:>9}  "
             f"with-Bonsai {abstract_time:>9}  speedup {speedup:6.1f}x"
         )
-        last_speedup = speedup
         benchmark.extra_info[f"{family}_{nodes}"] = {
             "concrete_s": round(concrete.seconds, 3),
             "abstract_s": round(abstract.total_seconds, 3),

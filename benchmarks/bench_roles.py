@@ -10,11 +10,9 @@ the ordering -- raw > unused-tags-ignored > statics-also-ignored -- is the
 result being reproduced.
 """
 
-import pytest
 
 from conftest import record_row
 from repro import Bonsai, datacenter_network, wan_network
-from repro.config import Prefix
 
 FIGURE = "Section 8: device role counts"
 

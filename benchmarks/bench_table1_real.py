@@ -17,7 +17,7 @@ import pytest
 
 from conftest import full_scale, record_row
 from repro import Bonsai, datacenter_network, wan_network
-from repro.netgen import DATACENTER_SMALL_SCALE, WAN_SMALL_SCALE
+from repro.netgen import DATACENTER_SMALL_SCALE
 
 TABLE = "Table 1(b): real-network substitutes"
 

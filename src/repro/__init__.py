@@ -48,6 +48,12 @@ from repro.routing import (
     build_rip_srp,
     build_static_srp,
 )
+from repro.pipeline import (
+    CompressionPipeline,
+    EncodedNetwork,
+    PipelineError,
+    PipelineReport,
+)
 from repro.srp import SRP, Solution, solve
 from repro.topology import Graph
 
@@ -81,6 +87,10 @@ __all__ = [
     "build_ospf_srp",
     "build_rip_srp",
     "build_static_srp",
+    "CompressionPipeline",
+    "EncodedNetwork",
+    "PipelineError",
+    "PipelineReport",
     "SRP",
     "Solution",
     "solve",

@@ -17,8 +17,8 @@ them for downstream analyses to use.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence
 
 from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
 from repro.abstraction.mapping import NetworkAbstraction
@@ -128,13 +128,25 @@ class Bonsai:
         specialized BDD identities are used as policy keys.  When False,
         specialized syntactic keys are used instead (the ablation in
         DESIGN.md compares the two).
+    encoder:
+        An optional pre-built :class:`PolicyBddEncoder` for ``network``.
+        The parallel pipeline encodes the network once, ships the encoder
+        to each worker, and rebuilds a ``Bonsai`` around the copy so the
+        one-time encoding cost is not paid per worker.
     """
 
-    def __init__(self, network: Network, use_bdds: bool = True):
+    def __init__(
+        self,
+        network: Network,
+        use_bdds: bool = True,
+        encoder: Optional[PolicyBddEncoder] = None,
+    ):
         self.network = network
         self.use_bdds = use_bdds
-        self._encoder: Optional[PolicyBddEncoder] = None
+        self._encoder: Optional[PolicyBddEncoder] = encoder
         self.bdd_seconds = 0.0
+        #: The aggregated report of the most recent :meth:`compress_all`.
+        self.last_report = None
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -203,17 +215,33 @@ class Bonsai:
         self,
         limit: Optional[int] = None,
         build_networks: bool = False,
+        workers: Optional[int] = None,
+        executor: Optional[str] = None,
     ) -> List[CompressionResult]:
         """Compress every equivalence class (optionally only the first few).
 
-        The paper processes classes in parallel; here they are processed
-        sequentially and ``limit`` allows benchmarks to sample a subset and
-        report per-class averages, which is what Table 1 reports anyway.
+        The classes are independent (§5.1), so the work is delegated to the
+        :mod:`repro.pipeline` subsystem.  By default it runs serially on
+        this instance's encoder; passing ``workers`` (and optionally an
+        ``executor`` of ``"process"`` or ``"thread"``) fans the classes out
+        over a pool, with the one-time BDD encoding shared via a pickled
+        artifact.  The aggregated :class:`~repro.pipeline.report.PipelineReport`
+        of the last run is kept on ``self.last_report``.
         """
-        classes = self.equivalence_classes()
-        if limit is not None:
-            classes = classes[:limit]
-        return [self.compress(ec, build_network=build_networks) for ec in classes]
+        from repro.pipeline.core import CompressionPipeline
+
+        if executor is None:
+            executor = "serial" if not workers else "process"
+        pipeline = CompressionPipeline.from_bonsai(
+            self,
+            executor=executor,
+            workers=workers or 1,
+            limit=limit,
+            build_networks=build_networks,
+        )
+        run = pipeline.run()
+        self.last_report = run.report
+        return run.results
 
     # ------------------------------------------------------------------
     # Abstract network construction

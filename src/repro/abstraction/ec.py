@@ -10,8 +10,8 @@ be compressed (and analysed) independently and in parallel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import List
 
 from repro.config.network import Network
 from repro.config.prefix import Prefix

@@ -19,7 +19,7 @@ mapping is solution dependent (Theorem 4.5), so the checker verifies that
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.abstraction.mapping import NetworkAbstraction
 from repro.routing.attributes import BgpAttribute, RibAttribute
@@ -28,7 +28,7 @@ from repro.routing.multiprotocol import MultiProtocolConfig, build_multiprotocol
 from repro.srp.instance import SRP
 from repro.srp.solution import Solution
 from repro.srp.solver import solve
-from repro.topology.graph import Edge, Graph, Node
+from repro.topology.graph import Edge, Node
 
 
 class AbstractionBuildError(Exception):

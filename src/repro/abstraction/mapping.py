@@ -10,7 +10,7 @@ condition checkers and the equivalence checker need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.topology.graph import Edge, Graph, Node
 

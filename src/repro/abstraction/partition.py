@@ -13,7 +13,7 @@ group is O(subset size); looking up a node's group is O(1).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set
 
 Node = Hashable
 

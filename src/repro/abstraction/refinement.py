@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
 from repro.abstraction.mapping import NetworkAbstraction
 from repro.abstraction.partition import UnionSplitFind

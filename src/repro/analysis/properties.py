@@ -11,7 +11,7 @@ answer -- that is exactly what the integration tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, Optional, Sequence, Set
 
 from repro.analysis.dataplane import ForwardingTable
 from repro.topology.graph import Node

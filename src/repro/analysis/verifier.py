@@ -21,8 +21,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.abstraction.bonsai import Bonsai
 from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
-from repro.analysis.dataplane import ForwardingTable, compute_forwarding_table
-from repro.analysis.properties import reachable_sources
+from repro.analysis.dataplane import compute_forwarding_table
 from repro.config.network import Network
 from repro.config.prefix import Prefix
 from repro.topology.graph import Node
@@ -128,13 +127,11 @@ def verify_with_abstraction(
     unreachable = 0
     checked = 0
     timed_out = False
-    compression_seconds = 0.0
     for ec in classes:
         if timeout_seconds is not None and time.perf_counter() - start > timeout_seconds:
             timed_out = True
             break
         result = bonsai.compress(ec, build_network=True)
-        compression_seconds += result.compression_seconds
         abstract_network = result.abstract_network
         if abstract_network is None:
             continue

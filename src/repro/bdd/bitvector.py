@@ -10,7 +10,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.bdd.manager import BddManager, FALSE, TRUE
 

@@ -40,9 +40,20 @@ class BddManager:
     num_vars:
         Number of variables to pre-declare.  More can be added later with
         :meth:`add_var`; variable order is the declaration order.
+    cache_limit:
+        Optional bound on the memoisation cache for :meth:`ite`.  The cache
+        is an optimisation only, so when it grows past the limit it is
+        simply cleared (clear-on-overflow); correctness is unaffected.  The
+        default (``None``) keeps the cache unbounded, which is fine for
+        short-lived managers but can dominate memory when one manager
+        serves many ``restrict``/``apply`` calls (e.g. specializing the
+        policy BDDs of a large network to thousands of destinations).
     """
 
-    def __init__(self, num_vars: int = 0):
+    def __init__(self, num_vars: int = 0, cache_limit: Optional[int] = None):
+        if cache_limit is not None and cache_limit <= 0:
+            raise ValueError("cache_limit must be positive (or None for unbounded)")
+        self.cache_limit = cache_limit
         # Node storage: parallel arrays var/low/high indexed by node id.
         # Terminals use variable index "infinity" so they sort after all
         # decision variables.
@@ -80,6 +91,11 @@ class BddManager:
     def num_nodes(self) -> int:
         """Total number of nodes allocated (including terminals)."""
         return len(self._var)
+
+    def ite_cache_size(self) -> int:
+        """Current number of memoised ``ite`` results (bounded by
+        ``cache_limit`` when one is set)."""
+        return len(self._ite_cache)
 
     # ------------------------------------------------------------------
     # Node construction
@@ -146,6 +162,8 @@ class BddManager:
         low = self.ite(f0, g0, h0)
         high = self.ite(f1, g1, h1)
         result = self._make_node(top, low, high)
+        if self.cache_limit is not None and len(self._ite_cache) >= self.cache_limit:
+            self._ite_cache.clear()
         self._ite_cache[key] = result
         return result
 

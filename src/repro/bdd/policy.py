@@ -28,14 +28,15 @@ Variables
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.bdd.manager import BddManager, FALSE, TRUE
 from repro.config.device import DeviceConfig
 from repro.config.network import Network
 from repro.config.prefix import Prefix
-from repro.config.routemap import CommunityList, PrefixList, RouteMap
+from repro.config.routemap import PrefixList, RouteMap
 from repro.config.transfer import CompiledEdge, compile_edges
 from repro.topology.graph import Edge
 
@@ -62,15 +63,39 @@ class _SymbolicState:
 class PolicyBddEncoder:
     """Encodes and specializes per-edge policies for one network."""
 
-    def __init__(self, network: Network, track_all_communities: bool = False):
+    def __init__(
+        self,
+        network: Network,
+        track_all_communities: bool = False,
+        specialize_cache_limit: int = 4096,
+        bdd_cache_limit: Optional[int] = None,
+    ):
         """``track_all_communities`` also allocates variables for communities
         that are attached but never matched on.  Bonsai's default is to
         ignore them (they cannot influence behaviour); tracking them
         reproduces the paper's "112 roles before / 26 after" observation
-        and is used by the role-count benchmark."""
+        and is used by the role-count benchmark.
+
+        ``specialize_cache_limit`` bounds the LRU cache of specialization
+        results: many destination equivalence classes induce the *same*
+        restriction assignment (every /24 of the site aggregate looks alike
+        to the prefix lists), so caching ``(bdd, assignment) -> cofactor``
+        makes repeated per-class specialization nearly free.  Set it to 0
+        to disable the cache.
+
+        ``bdd_cache_limit`` bounds the underlying manager's ``ite`` memo
+        cache (see :class:`~repro.bdd.manager.BddManager`): an encoder that
+        specializes policies to many destinations on one manager is exactly
+        the workload where that cache can otherwise grow without bound."""
         self.network = network
         self.track_all_communities = track_all_communities
-        self.manager = BddManager()
+        self.manager = BddManager(cache_limit=bdd_cache_limit)
+        self.specialize_cache_limit = specialize_cache_limit
+        self._specialize_cache: "OrderedDict[Tuple[int, Tuple[Tuple[int, bool], ...]], int]" = (
+            OrderedDict()
+        )
+        self._specialize_hits = 0
+        self._specialize_misses = 0
         self._matched_communities = tuple(sorted(self._collect_matched_communities()))
         self._lp_values: Tuple[object, ...] = tuple(
             [UNCHANGED] + sorted(self._collect_local_prefs())
@@ -365,9 +390,45 @@ class PolicyBddEncoder:
             ).permits(destination)
         return assignment
 
+    def _restrict_cached(
+        self, bdd: int, assignment: Dict[int, bool], assignment_key: Tuple[Tuple[int, bool], ...]
+    ) -> int:
+        """LRU-cached :meth:`BddManager.restrict`.
+
+        The key pairs the BDD identity with the canonical assignment, so
+        equivalence classes whose destinations restrict identically (the
+        common case: every generated /24 satisfies the same prefix lists)
+        reuse each other's cofactors instead of re-walking the BDD.
+        """
+        if self.specialize_cache_limit <= 0:
+            return self.manager.restrict(bdd, assignment)
+        key = (bdd, assignment_key)
+        cached = self._specialize_cache.get(key)
+        if cached is not None:
+            self._specialize_cache.move_to_end(key)
+            self._specialize_hits += 1
+            return cached
+        self._specialize_misses += 1
+        result = self.manager.restrict(bdd, assignment)
+        self._specialize_cache[key] = result
+        if len(self._specialize_cache) > self.specialize_cache_limit:
+            self._specialize_cache.popitem(last=False)
+        return result
+
+    def specialize_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters for the specialization LRU cache."""
+        return {
+            "hits": self._specialize_hits,
+            "misses": self._specialize_misses,
+            "size": len(self._specialize_cache),
+            "limit": self.specialize_cache_limit,
+        }
+
     def specialize(self, bdd: int, destination: Prefix) -> int:
         """Restrict a generic policy BDD to a concrete destination prefix."""
-        return self.manager.restrict(bdd, self.specialization_assignment(destination))
+        assignment = self.specialization_assignment(destination)
+        key = tuple(sorted(assignment.items()))
+        return self._restrict_cached(bdd, assignment, key)
 
     def specialized_policy_keys(
         self, destination: Prefix, compiled: Optional[Dict[Edge, CompiledEdge]] = None
@@ -376,11 +437,16 @@ class PolicyBddEncoder:
         plus the non-BGP parts of the edge policy (static routes, OSPF cost)."""
         if compiled is None:
             compiled = compile_edges(self.network, destination)
+        # Encode every edge *before* computing the assignment: encoding may
+        # allocate prefix-list/ACL variables, and the assignment must cover
+        # all of them for the specialization to be complete.
+        bdds = {edge: self.encode_edge(info) for edge, info in compiled.items()}
         assignment = self.specialization_assignment(destination)
+        assignment_key = tuple(sorted(assignment.items()))
         keys: Dict[Edge, Hashable] = {}
         for edge, info in compiled.items():
-            bdd = self.encode_edge(info)
-            specialized = self.manager.restrict(bdd, assignment)
+            bdd = bdds[edge]
+            specialized = self._restrict_cached(bdd, assignment, assignment_key)
             keys[edge] = (
                 specialized,
                 info.has_static,

@@ -11,11 +11,11 @@ classes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.config.device import ConfigError, DeviceConfig
 from repro.config.prefix import Prefix, PrefixTrie
-from repro.topology.graph import Edge, Graph, Node
+from repro.topology.graph import Graph, Node
 
 
 @dataclass

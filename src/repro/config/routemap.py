@@ -22,8 +22,8 @@ is per destination, so the prefix is supplied separately).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.config.prefix import Prefix
 from repro.routing.attributes import BgpAttribute

@@ -16,13 +16,13 @@ syntactic keys only structurally; the ablation benchmark compares the two).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.config.device import DeviceConfig
 from repro.config.network import Network
 from repro.config.prefix import Prefix
-from repro.config.routemap import PERMIT_ALL, RouteMap
+from repro.config.routemap import RouteMap
 from repro.routing.attributes import (
     DEFAULT_LOCAL_PREF,
     NO_ROUTE,
@@ -220,6 +220,78 @@ def syntactic_policy_keys(
 
 
 # ----------------------------------------------------------------------
+# Transfer function
+# ----------------------------------------------------------------------
+@dataclass
+class NetworkTransfer:
+    """The transfer function of a configured network for one destination.
+
+    This used to be a closure inside :func:`build_srp_from_network`; it is a
+    class so that SRP instances (and the compression results built from
+    them) can be pickled and shipped across process boundaries by the
+    parallel compression pipeline (:mod:`repro.pipeline`).
+    """
+
+    network: Network
+    destination: Prefix
+    compiled: Dict[Edge, CompiledEdge]
+    virtual_edges: FrozenSet[Edge]
+
+    def __call__(
+        self, edge: Edge, attribute: Optional[RibAttribute]
+    ) -> Optional[RibAttribute]:
+        if edge in self.virtual_edges:
+            # Links to the virtual destination simply hand out the initial
+            # announcement to each true originator.
+            if attribute is None:
+                return NO_ROUTE
+            return attribute
+
+        info = self.compiled.get(edge)
+        if info is None:
+            return NO_ROUTE
+        receiver, sender = edge
+        receiver_cfg = self.network.devices[receiver]
+        sender_cfg = self.network.devices[sender]
+
+        static_attr = StaticAttribute() if info.has_static else None
+
+        bgp_attr = None
+        ospf_attr = None
+        if attribute is not None:
+            if info.has_ospf and attribute.ospf is not None:
+                ospf_attr = attribute.ospf.with_added_cost(info.ospf_cost)
+            if info.has_bgp and attribute.bgp is not None:
+                outgoing = evaluate_route_map(
+                    info.export_map, sender_cfg, attribute.bgp, self.destination
+                )
+                if outgoing is not None:
+                    receiver_asn = receiver_cfg.asn or str(receiver)
+                    sender_asn = sender_cfg.asn or str(sender)
+                    if info.ibgp:
+                        # iBGP: no AS-path change and no AS-based loop check.
+                        incoming = outgoing
+                    elif outgoing.contains_as(receiver_asn):
+                        incoming = None
+                    else:
+                        incoming = outgoing.prepended(sender_asn)
+                    if incoming is not None:
+                        bgp_attr = evaluate_route_map(
+                            info.import_map, receiver_cfg, incoming, self.destination
+                        )
+
+        if static_attr is None and bgp_attr is None and ospf_attr is None:
+            return NO_ROUTE
+        partial = RibAttribute(bgp=bgp_attr, ospf=ospf_attr, static=static_attr)
+        return RibAttribute(
+            bgp=bgp_attr,
+            ospf=ospf_attr,
+            static=static_attr,
+            chosen=partial.best_protocol(),
+        )
+
+
+# ----------------------------------------------------------------------
 # SRP construction
 # ----------------------------------------------------------------------
 def _destination_node(
@@ -268,56 +340,12 @@ def build_srp_from_network(
     bgp = BgpProtocol(unused_communities=ignore_communities)
     ospf = OspfProtocol()
 
-    def transfer(edge: Edge, attribute: Optional[RibAttribute]) -> Optional[RibAttribute]:
-        if edge in virtual_edges:
-            # Links to the virtual destination simply hand out the initial
-            # announcement to each true originator.
-            if attribute is None:
-                return NO_ROUTE
-            return attribute
-
-        info = compiled.get(edge)
-        if info is None:
-            return NO_ROUTE
-        receiver, sender = edge
-        receiver_cfg = network.devices[receiver]
-        sender_cfg = network.devices[sender]
-
-        static_attr = StaticAttribute() if info.has_static else None
-
-        bgp_attr = None
-        ospf_attr = None
-        if attribute is not None:
-            if info.has_ospf and attribute.ospf is not None:
-                ospf_attr = attribute.ospf.with_added_cost(info.ospf_cost)
-            if info.has_bgp and attribute.bgp is not None:
-                outgoing = evaluate_route_map(
-                    info.export_map, sender_cfg, attribute.bgp, destination
-                )
-                if outgoing is not None:
-                    receiver_asn = receiver_cfg.asn or str(receiver)
-                    sender_asn = sender_cfg.asn or str(sender)
-                    if info.ibgp:
-                        # iBGP: no AS-path change and no AS-based loop check.
-                        incoming = outgoing
-                    elif outgoing.contains_as(receiver_asn):
-                        incoming = None
-                    else:
-                        incoming = outgoing.prepended(sender_asn)
-                    if incoming is not None:
-                        bgp_attr = evaluate_route_map(
-                            info.import_map, receiver_cfg, incoming, destination
-                        )
-
-        if static_attr is None and bgp_attr is None and ospf_attr is None:
-            return NO_ROUTE
-        partial = RibAttribute(bgp=bgp_attr, ospf=ospf_attr, static=static_attr)
-        return RibAttribute(
-            bgp=bgp_attr,
-            ospf=ospf_attr,
-            static=static_attr,
-            chosen=partial.best_protocol(),
-        )
+    transfer = NetworkTransfer(
+        network=network,
+        destination=destination,
+        compiled=compiled,
+        virtual_edges=frozenset(virtual_edges),
+    )
 
     edge_policies: Dict[Edge, Hashable] = dict(
         syntactic_policy_keys(network, destination, compiled, ignore_communities)

@@ -26,6 +26,7 @@ from repro.netgen.datacenter import (
     SMALL_SCALE as DATACENTER_SMALL_SCALE,
     datacenter_network,
 )
+from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology
 from repro.netgen.wan import (
     PAPER_SCALE as WAN_PAPER_SCALE,
     SMALL_SCALE as WAN_SMALL_SCALE,
@@ -58,4 +59,6 @@ __all__ = [
     "WAN_SMALL_SCALE",
     "WanParams",
     "wan_network",
+    "TOPOLOGY_FAMILIES",
+    "build_topology",
 ]

@@ -1,0 +1,67 @@
+"""A size-parameterised registry of the generated topology families.
+
+The compression pipeline CLI (``python -m repro.pipeline``) and the scaling
+benchmark address every generator through one ``(family, size)`` interface,
+so this module maps each family name to a builder taking a single integer:
+
+* ``fattree`` -- ``size`` is the arity ``k`` (must be even);
+* ``mesh`` / ``ring`` -- ``size`` is the number of routers;
+* ``datacenter`` -- ``size`` is the number of clusters (other knobs follow
+  the small test scale);
+* ``wan`` -- ``size`` is the number of regions (other knobs follow the
+  small test scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.config.network import Network
+from repro.netgen.datacenter import DatacenterParams, datacenter_network
+from repro.netgen.fattree import fattree_network
+from repro.netgen.mesh import full_mesh_network
+from repro.netgen.ring import ring_network
+from repro.netgen.wan import WanParams, wan_network
+
+
+def _datacenter(size: int) -> Network:
+    return datacenter_network(
+        DatacenterParams(
+            clusters=size,
+            spines_per_cluster=2,
+            leaves_per_cluster=4,
+            core_routers=2,
+            static_leaves_per_cluster=1,
+        )
+    )
+
+
+def _wan(size: int) -> Network:
+    return wan_network(
+        WanParams(
+            core_routers=2,
+            regions=size,
+            access_per_region=4,
+            static_access_per_region=1,
+        )
+    )
+
+
+#: family name -> (builder, human description of the size parameter).
+TOPOLOGY_FAMILIES: Dict[str, Tuple[Callable[[int], Network], str]] = {
+    "fattree": (fattree_network, "fat-tree arity k (even)"),
+    "mesh": (full_mesh_network, "number of routers"),
+    "ring": (ring_network, "number of routers"),
+    "datacenter": (_datacenter, "number of clusters"),
+    "wan": (_wan, "number of regions"),
+}
+
+
+def build_topology(family: str, size: int) -> Network:
+    """Build a configured network of ``family`` at ``size``."""
+    try:
+        builder, _ = TOPOLOGY_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+        raise ValueError(f"unknown topology family {family!r}; expected one of: {known}")
+    return builder(size)

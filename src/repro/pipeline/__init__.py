@@ -1,0 +1,33 @@
+"""Parallel control-plane compression pipeline.
+
+Destination equivalence classes never interact (§5.1), so compressing a
+network is embarrassingly parallel once the one-time policy-BDD encoding
+exists.  This package provides the batching/fan-out/aggregation machinery:
+
+* :class:`EncodedNetwork` -- the pickleable one-time encoding artifact;
+* :class:`CompressionPipeline` -- batches classes over a process pool,
+  thread pool, or serial fallback;
+* :class:`PipelineReport` / :class:`EcRecord` -- aggregated, JSON-ready
+  results;
+* ``python -m repro.pipeline`` -- a CLI over the generated topology
+  families.
+"""
+
+from repro.pipeline.core import (
+    EXECUTORS,
+    CompressionPipeline,
+    PipelineError,
+    PipelineRun,
+)
+from repro.pipeline.encoded import EncodedNetwork
+from repro.pipeline.report import EcRecord, PipelineReport
+
+__all__ = [
+    "EXECUTORS",
+    "CompressionPipeline",
+    "EncodedNetwork",
+    "EcRecord",
+    "PipelineError",
+    "PipelineReport",
+    "PipelineRun",
+]

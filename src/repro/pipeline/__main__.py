@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.pipeline``."""
+
+import sys
+
+from repro.pipeline.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

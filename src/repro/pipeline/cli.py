@@ -1,0 +1,122 @@
+"""Command-line front end: ``python -m repro.pipeline``.
+
+Examples
+--------
+Compress a k=4 fat-tree over two worker processes and print the summary::
+
+    python -m repro.pipeline --topo fattree --size 4 --workers 2
+
+Write the full JSON report (the format CI uploads as an artifact)::
+
+    python -m repro.pipeline --topo mesh --size 12 --executor serial \
+        --output report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology
+from repro.pipeline.core import EXECUTORS, CompressionPipeline, PipelineError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    families = ", ".join(
+        f"{name} ({hint})" for name, (_, hint) in sorted(TOPOLOGY_FAMILIES.items())
+    )
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Compress every destination equivalence class of a "
+        "generated network in parallel and report aggregate statistics.",
+    )
+    parser.add_argument(
+        "--topo",
+        required=True,
+        choices=sorted(TOPOLOGY_FAMILIES),
+        help=f"topology family; size parameter per family: {families}",
+    )
+    parser.add_argument("--size", type=int, required=True, help="family size parameter")
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for parallel executors"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="process",
+        help="how to run the per-class work (default: process)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="classes per work unit"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="compress only the first N classes"
+    )
+    parser.add_argument(
+        "--build-networks",
+        action="store_true",
+        help="also emit the abstract configured network for every class",
+    )
+    parser.add_argument(
+        "--syntactic",
+        action="store_true",
+        help="use syntactic policy keys instead of BDDs (ablation mode)",
+    )
+    parser.add_argument(
+        "--output", default=None, help="write the JSON report to this file"
+    )
+    parser.add_argument(
+        "--per-class", action="store_true", help="also print one line per class"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        network = build_topology(args.topo, args.size)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        pipeline = CompressionPipeline(
+            network,
+            executor=args.executor,
+            workers=args.workers,
+            batch_size=args.batch_size,
+            limit=args.limit,
+            build_networks=args.build_networks,
+            use_bdds=not args.syntactic,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        run = pipeline.run()
+    except PipelineError as exc:
+        print(f"pipeline failed: {exc}", file=sys.stderr)
+        return 1
+
+    report = run.report
+    print(f"== compression pipeline: {args.topo}({args.size}) ==")
+    for line in report.summary_lines():
+        print(f"  {line}")
+    if args.per_class:
+        for record in report.records:
+            print(
+                f"  {record.prefix}: {record.concrete_nodes} -> "
+                f"{record.abstract_nodes} nodes "
+                f"({record.node_ratio:.2f}x) in {record.compression_seconds:.4f}s"
+            )
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report.to_json())
+                handle.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write report to {args.output}: {exc}", file=sys.stderr)
+            return 1
+        print(f"  report written to {args.output}")
+    return 0

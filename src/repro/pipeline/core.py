@@ -1,0 +1,321 @@
+"""The parallel compression pipeline (§5.1's "classes are independent").
+
+:class:`CompressionPipeline` splits a network's destination equivalence
+classes into batches and fans the batches out over a pool of workers.
+Three executors are supported:
+
+* ``"process"`` -- a :class:`~concurrent.futures.ProcessPoolExecutor`; the
+  one-time :class:`~repro.pipeline.encoded.EncodedNetwork` artifact is
+  pickled once and handed to each worker process via the pool initializer,
+  so every process owns a private, fully hash-consed
+  :class:`~repro.bdd.manager.BddManager`;
+* ``"thread"`` -- a :class:`~concurrent.futures.ThreadPoolExecutor`; each
+  worker *thread* still receives its own unpickled copy of the artifact
+  (the BDD manager is not thread-safe, and private copies keep the output
+  bit-identical to the serial run).  Useful when processes are unavailable
+  and the per-class work releases the GIL rarely;
+* ``"serial"`` -- everything runs inline on the caller's objects, in class
+  order, with no pickling.  This is the deterministic fallback and the
+  baseline the scaling benchmark compares against.
+
+Results stream back to the coordinator as workers finish; the aggregator
+reorders them by class index and folds every per-class outcome into a
+:class:`~repro.pipeline.report.PipelineReport`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.abstraction.bonsai import Bonsai, CompressionResult
+from repro.abstraction.ec import EquivalenceClass
+from repro.config.network import Network
+from repro.pipeline.encoded import EncodedNetwork
+from repro.pipeline.report import EcRecord, PipelineReport
+
+#: The executors understood by :class:`CompressionPipeline`.
+EXECUTORS = ("serial", "thread", "process")
+
+
+class PipelineError(RuntimeError):
+    """A worker failed while compressing an equivalence class."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+#: Per-worker state: each process's main thread (process pools) or each
+#: worker thread (thread pools) gets its own Bonsai over its own copy of
+#: the encoded artifact.
+_worker_state = threading.local()
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: unpickle a private copy of the one-time artifact."""
+    artifact = EncodedNetwork.from_bytes(payload)
+    _worker_state.bonsai = artifact.make_bonsai()
+
+
+def _compress_batch(
+    batch: Sequence[Tuple[int, EquivalenceClass]], build_networks: bool
+) -> List[Tuple[int, object]]:
+    """Compress one batch of ``(index, class)`` pairs in a worker.
+
+    Failures are returned as ``(index, _WorkerFailure)`` markers rather than
+    raised, so one bad class produces a clean coordinator-side error naming
+    the class instead of a bare pickled traceback from the pool.
+    """
+    bonsai: Bonsai = _worker_state.bonsai
+    out: List[Tuple[int, object]] = []
+    for index, equivalence_class in batch:
+        try:
+            result = bonsai.compress(equivalence_class, build_network=build_networks)
+        except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+            out.append(
+                (
+                    index,
+                    _WorkerFailure(
+                        prefix=str(equivalence_class.prefix),
+                        error=repr(exc),
+                        traceback=traceback.format_exc(),
+                    ),
+                )
+            )
+        else:
+            out.append((index, result))
+    return out
+
+
+@dataclass
+class _WorkerFailure:
+    """A pickleable stand-in for an exception raised inside a worker."""
+
+    prefix: str
+    error: str
+    traceback: str
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+@dataclass
+class PipelineRun:
+    """The outcome of one pipeline execution."""
+
+    #: Full per-class results, in equivalence-class order.
+    results: List[CompressionResult]
+    #: Aggregated, JSON-serialisable view of the run.
+    report: PipelineReport
+
+
+class CompressionPipeline:
+    """Batch, fan out, and aggregate per-class compression.
+
+    Parameters
+    ----------
+    network:
+        The configured network to compress (ignored when ``artifact`` is
+        given).
+    artifact:
+        A pre-built :class:`EncodedNetwork`; building one up front lets
+        several runs (e.g. serial and parallel benchmark arms) share the
+        one-time encoding.
+    executor:
+        ``"serial"``, ``"thread"`` or ``"process"``.
+    workers:
+        Worker count for the parallel executors (default: 4).
+    batch_size:
+        Classes per work unit.  Defaults to spreading the classes evenly
+        so each worker sees about four batches (cheap load balancing
+        without per-class submission overhead).
+    limit:
+        Compress only the first ``limit`` classes.
+    build_networks:
+        Whether workers also emit the abstract configured network per class.
+    use_bdds:
+        Forwarded to :class:`~repro.abstraction.bonsai.Bonsai`.
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        *,
+        artifact: Optional[EncodedNetwork] = None,
+        executor: str = "process",
+        workers: int = 4,
+        batch_size: Optional[int] = None,
+        limit: Optional[int] = None,
+        build_networks: bool = False,
+        use_bdds: bool = True,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if network is None and artifact is None:
+            raise ValueError("either a network or an EncodedNetwork is required")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0")
+        self.network = artifact.network if artifact is not None else network
+        self.artifact = artifact
+        self.executor = executor
+        self.workers = workers
+        self.batch_size = batch_size
+        self.limit = limit
+        self.build_networks = build_networks
+        self.use_bdds = use_bdds
+
+    @classmethod
+    def from_bonsai(cls, bonsai: Bonsai, **kwargs) -> "CompressionPipeline":
+        """A pipeline reusing a ``Bonsai``'s network and (built) encoder."""
+        artifact = EncodedNetwork.build(
+            bonsai.network,
+            use_bdds=bonsai.use_bdds,
+            encoder=bonsai.encoder if bonsai.use_bdds else None,
+        )
+        kwargs.setdefault("use_bdds", bonsai.use_bdds)
+        return cls(artifact=artifact, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Batching
+    # ------------------------------------------------------------------
+    def _ensure_artifact(self) -> EncodedNetwork:
+        if self.artifact is None:
+            self.artifact = EncodedNetwork.build(self.network, use_bdds=self.use_bdds)
+        return self.artifact
+
+    def partition(
+        self, classes: Sequence[EquivalenceClass]
+    ) -> List[List[Tuple[int, EquivalenceClass]]]:
+        """Split the classes into contiguous indexed batches."""
+        indexed = list(enumerate(classes))
+        if not indexed:
+            return []
+        size = self.batch_size
+        if size is None:
+            # ~4 batches per worker: large enough to amortise dispatch,
+            # small enough that a straggler batch cannot idle the pool.
+            size = max(1, -(-len(indexed) // (self.workers * 4)))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> PipelineRun:
+        """Compress every class and aggregate the results."""
+        start = time.perf_counter()
+        artifact = self._ensure_artifact()
+        classes = artifact.classes
+        if self.limit is not None:
+            classes = classes[: self.limit]
+        batches = self.partition(classes)
+
+        if self.executor == "serial" or not batches:
+            indexed_results = self._run_serial(artifact, batches)
+        else:
+            indexed_results = self._run_pool(artifact, batches)
+
+        results = [result for _, result in sorted(indexed_results, key=lambda p: p[0])]
+        total_seconds = time.perf_counter() - start
+        report = PipelineReport(
+            network_name=self.network.name,
+            executor=self.executor,
+            workers=1 if self.executor == "serial" else self.workers,
+            batch_size=len(batches[0]) if batches else 0,
+            num_batches=len(batches),
+            num_classes=len(classes),
+            encode_seconds=artifact.encode_seconds,
+            total_seconds=total_seconds,
+            records=[EcRecord.from_result(result) for result in results],
+        )
+        return PipelineRun(results=results, report=report)
+
+    def _run_serial(
+        self,
+        artifact: EncodedNetwork,
+        batches: List[List[Tuple[int, EquivalenceClass]]],
+    ) -> List[Tuple[int, CompressionResult]]:
+        bonsai = artifact.make_bonsai()
+        out: List[Tuple[int, CompressionResult]] = []
+        for batch in batches:
+            for index, equivalence_class in batch:
+                try:
+                    result = bonsai.compress(
+                        equivalence_class, build_network=self.build_networks
+                    )
+                except Exception as exc:
+                    raise PipelineError(
+                        f"compression of equivalence class "
+                        f"{equivalence_class.prefix} failed: {exc!r}"
+                    ) from exc
+                out.append((index, result))
+        return out
+
+    def _make_pool(self, payload: bytes) -> Executor:
+        if self.executor == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(payload,),
+            )
+        return ThreadPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(payload,),
+        )
+
+    def _run_pool(
+        self,
+        artifact: EncodedNetwork,
+        batches: List[List[Tuple[int, EquivalenceClass]]],
+    ) -> List[Tuple[int, CompressionResult]]:
+        payload = artifact.to_bytes()
+        out: List[Tuple[int, CompressionResult]] = []
+        try:
+            with self._make_pool(payload) as pool:
+                pending = {
+                    pool.submit(_compress_batch, batch, self.build_networks)
+                    for batch in batches
+                }
+                try:
+                    while pending:
+                        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                        for future in done:
+                            for index, item in future.result():
+                                if isinstance(item, _WorkerFailure):
+                                    raise PipelineError(
+                                        f"compression of equivalence class "
+                                        f"{item.prefix} failed in a "
+                                        f"{self.executor} worker: {item.error}\n"
+                                        f"{item.traceback}"
+                                    )
+                                out.append((index, item))
+                except BaseException:
+                    # Surface the error now rather than after every queued
+                    # batch has run to completion.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        except PipelineError:
+            raise
+        except Exception as exc:
+            # e.g. BrokenProcessPool when a worker dies outright.
+            raise PipelineError(
+                f"{self.executor} pool failed while compressing "
+                f"{self.network.name}: {exc!r}"
+            ) from exc
+        return out

@@ -22,8 +22,8 @@ encoding is requested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.routing.attributes import DEFAULT_LOCAL_PREF, NO_ROUTE, BgpAttribute
 from repro.routing.protocol import Protocol

@@ -15,13 +15,12 @@ distance wins, then the owning protocol's own preference applies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Set
+from typing import Dict, Optional, Set
 
 from repro.routing.attributes import (
     ADMIN_DISTANCE,
     NO_ROUTE,
     BgpAttribute,
-    OspfAttribute,
     RibAttribute,
     StaticAttribute,
 )
@@ -117,7 +116,6 @@ def build_multiprotocol_srp(
 ) -> SRP:
     """Construct the SRP for a network running BGP, OSPF and static routes."""
     protocol = MultiProtocol()
-    bgp = BgpProtocol()
     allow = AllowAll()
 
     def transfer(edge: Edge, attribute: Optional[RibAttribute]) -> Optional[RibAttribute]:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.srp.instance import SRP
 from repro.srp.solution import Labeling, Solution

@@ -132,3 +132,50 @@ class TestOperations:
         assert low == FALSE and high == b
         with pytest.raises(BddError):
             manager.top_var(TRUE)
+
+
+class TestCacheLimit:
+    """The ite memo cache stays bounded when a limit is set."""
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            BddManager(num_vars=2, cache_limit=0)
+        with pytest.raises(ValueError):
+            BddManager(num_vars=2, cache_limit=-5)
+
+    def test_unbounded_by_default(self):
+        manager = BddManager(num_vars=8)
+        assert manager.cache_limit is None
+
+    def test_cache_cleared_on_overflow(self):
+        limit = 50
+        manager = BddManager(num_vars=12, cache_limit=limit)
+        f = manager.conjoin(manager.var(i) for i in range(12))
+        for i in range(12):
+            f = manager.apply_or(f, manager.apply_xor(manager.var(i), manager.var((i + 1) % 12)))
+        assert manager.ite_cache_size() <= limit
+
+    def test_memory_bounded_across_many_restricts(self):
+        """Many specializations (restrict + quantification) keep the memo
+        cache bounded, not growing with the number of destinations."""
+        limit = 200
+        manager = BddManager(num_vars=16, cache_limit=limit)
+        f = manager.disjoin(
+            manager.apply_and(manager.var(i), manager.var(i + 1)) for i in range(15)
+        )
+        for round_ in range(100):
+            restricted = manager.restrict(f, {round_ % 16: bool(round_ % 2)})
+            manager.exists(restricted, [(round_ + 3) % 16, (round_ + 7) % 16])
+            assert manager.ite_cache_size() <= limit
+
+    def test_bounded_manager_computes_same_results(self):
+        bounded = BddManager(num_vars=10, cache_limit=10)
+        unbounded = BddManager(num_vars=10)
+        for manager in (bounded, unbounded):
+            acc = TRUE
+            for i in range(9):
+                acc = manager.apply_and(acc, manager.apply_or(manager.var(i), manager.var(i + 1)))
+            manager._result = acc  # stash for comparison below
+        assert bounded.sat_count(bounded._result, num_vars=10) == unbounded.sat_count(
+            unbounded._result, num_vars=10
+        )

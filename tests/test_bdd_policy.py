@@ -150,3 +150,43 @@ def test_figure10_local_pref_encoding(network, encoder):
     # 65001:3 is attached but never matched on anywhere, so the encoder does
     # not track it at all -- that is the unused-tag abstraction of §8.
     assert c3 not in encoder._community_out
+
+
+class TestSpecializationCache:
+    """The LRU cache reuses cofactors across equivalence classes."""
+
+    def test_repeated_destinations_hit_the_cache(self, network):
+        encoder = PolicyBddEncoder(network)
+        compiled = compile_edges(network, Prefix.parse("10.0.1.0/24"))
+        first = encoder.specialized_policy_keys(Prefix.parse("10.0.1.0/24"), compiled)
+        info = encoder.specialize_cache_info()
+        assert info["misses"] > 0
+        # A destination with the same restriction assignment reuses every
+        # cofactor; keys must be identical BDD ids.
+        again = encoder.specialized_policy_keys(Prefix.parse("10.0.1.0/24"), compiled)
+        assert again == first
+        assert encoder.specialize_cache_info()["hits"] >= len(compiled)
+
+    def test_cache_respects_limit(self, network):
+        encoder = PolicyBddEncoder(network, specialize_cache_limit=2)
+        for third_octet in range(8):
+            encoder.specialized_policy_keys(Prefix.parse(f"10.0.{third_octet}.0/24"))
+        assert encoder.specialize_cache_info()["size"] <= 2
+
+    def test_cache_can_be_disabled(self, network):
+        encoder = PolicyBddEncoder(network, specialize_cache_limit=0)
+        keys = encoder.specialized_policy_keys(Prefix.parse("10.0.1.0/24"))
+        assert keys
+        info = encoder.specialize_cache_info()
+        assert info["size"] == 0 and info["hits"] == 0
+
+    def test_cached_and_uncached_results_agree(self, network):
+        cached = PolicyBddEncoder(network)
+        uncached = PolicyBddEncoder(network, specialize_cache_limit=0)
+        for third_octet in (1, 2, 1, 3, 1):
+            destination = Prefix.parse(f"10.0.{third_octet}.0/24")
+            compiled = compile_edges(network, destination)
+            a = cached.specialized_policy_keys(destination, compiled)
+            b = uncached.specialized_policy_keys(destination, compiled)
+            # Same manager state evolution => identical BDD identities.
+            assert a == b

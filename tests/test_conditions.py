@@ -12,7 +12,7 @@ from repro.abstraction import (
     check_self_loop_free,
     check_transfer_equivalence,
 )
-from repro.routing import build_rip_srp, build_bgp_srp
+from repro.routing import build_rip_srp
 from repro.topology import Graph
 
 

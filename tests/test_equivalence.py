@@ -1,6 +1,5 @@
 """Unit and integration tests for abstract SRPs and CP-equivalence (§4.2)."""
 
-import pytest
 
 from repro.abstraction import (
     build_abstract_srp,
@@ -11,7 +10,6 @@ from repro.abstraction import (
 )
 from repro.routing import (
     RipAttribute,
-    SetLocalPref,
     build_bgp_srp,
     build_ospf_srp,
     build_rip_srp,

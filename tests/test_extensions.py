@@ -6,7 +6,6 @@ options, and compression of the policy-rich fat-tree through the full
 config pipeline.
 """
 
-import pytest
 
 from repro.abstraction import Bonsai, check_transfer_equivalence, compute_abstraction
 from repro.abstraction.equivalence import check_cp_equivalence

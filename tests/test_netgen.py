@@ -11,10 +11,7 @@ from repro.netgen import (
     WanParams,
     datacenter_network,
     fattree_network,
-    full_mesh_network,
     prefix_for_index,
-    ring_network,
-    wan_network,
 )
 from repro.srp import solve
 from repro.config.transfer import build_srp_from_network

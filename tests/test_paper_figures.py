@@ -17,7 +17,6 @@ from repro.routing import (
     RipAttribute,
     SetLocalPref,
     build_bgp_srp,
-    build_rip_srp,
     build_static_srp,
 )
 from repro.srp import enumerate_solutions, solve
@@ -159,7 +158,7 @@ class TestFigure13:
         return build_bgp_srp(g, "d", import_policies=imports)
 
     def test_number_of_behaviours_bounded_by_prefs(self, figure13_srp):
-        result = compute_abstraction(figure13_srp)
+        compute_abstraction(figure13_srp)
         solution = solve(figure13_srp)
         assert solution.is_stable()
         u_behaviours = {frozenset(solution.next_hops(u)) for u in ("u1", "u2", "u3")}

@@ -1,0 +1,221 @@
+"""Tests for the parallel compression pipeline (repro.pipeline)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.abstraction.bonsai import Bonsai
+from repro.pipeline import (
+    CompressionPipeline,
+    EncodedNetwork,
+    PipelineError,
+    PipelineReport,
+)
+from repro.pipeline.cli import main as pipeline_main
+from repro.pipeline.report import EcRecord
+
+
+def run_pipeline(network, **kwargs):
+    return CompressionPipeline(network, **kwargs).run()
+
+
+# ----------------------------------------------------------------------
+# Serial / parallel parity
+# ----------------------------------------------------------------------
+class TestParity:
+    """Parallel output must be bit-identical to the serial fallback."""
+
+    @pytest.mark.parametrize("fixture", ["small_ring", "small_mesh", "small_fattree"])
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_parallel_matches_serial(self, request, fixture, executor):
+        network = request.getfixturevalue(fixture)
+        artifact = EncodedNetwork.build(network)
+        serial = CompressionPipeline(artifact=artifact, executor="serial").run()
+        parallel = CompressionPipeline(
+            artifact=artifact, executor=executor, workers=2
+        ).run()
+        assert serial.report.canonical_records() == parallel.report.canonical_records()
+        # Results stream back out of order but are re-sorted by class index.
+        assert [str(r.equivalence_class.prefix) for r in parallel.results] == [
+            str(r.equivalence_class.prefix) for r in serial.results
+        ]
+
+    def test_parity_with_prefer_bottom_policy(self, small_fattree_prefer_bottom):
+        """Case splitting (multiple local-prefs) survives the fan-out."""
+        artifact = EncodedNetwork.build(small_fattree_prefer_bottom)
+        serial = CompressionPipeline(artifact=artifact, executor="serial").run()
+        parallel = CompressionPipeline(
+            artifact=artifact, executor="process", workers=2
+        ).run()
+        assert serial.report.canonical_records() == parallel.report.canonical_records()
+        # The prefer-bottom policy yields a larger abstraction than plain
+        # shortest path (Figure 11's point); make sure we exercised it.
+        assert all(record.abstract_nodes > 6 for record in serial.report.records)
+
+    def test_compress_all_delegates_and_matches(self, small_ring):
+        serial_results = Bonsai(small_ring).compress_all()
+        parallel_bonsai = Bonsai(small_ring)
+        parallel_results = parallel_bonsai.compress_all(workers=2)
+        assert parallel_bonsai.last_report is not None
+        assert parallel_bonsai.last_report.executor == "process"
+        assert [EcRecord.from_result(r).canonical() for r in serial_results] == [
+            EcRecord.from_result(r).canonical() for r in parallel_results
+        ]
+
+    def test_limit_and_build_networks(self, small_fattree):
+        run = run_pipeline(
+            small_fattree, executor="process", workers=2, limit=3, build_networks=True
+        )
+        assert len(run.results) == 3
+        for result in run.results:
+            assert result.abstract_network is not None
+            assert result.abstract_network.graph.num_nodes() == result.abstract_nodes
+
+
+# ----------------------------------------------------------------------
+# Batching
+# ----------------------------------------------------------------------
+class TestBatching:
+    def test_default_batching_covers_all_classes(self, small_fattree):
+        pipeline = CompressionPipeline(small_fattree, workers=2)
+        classes = EncodedNetwork.build(small_fattree).classes
+        batches = pipeline.partition(classes)
+        flattened = [ec for batch in batches for _, ec in batch]
+        assert flattened == list(classes)
+
+    def test_explicit_batch_size(self, small_ring):
+        pipeline = CompressionPipeline(small_ring, batch_size=3)
+        batches = pipeline.partition(EncodedNetwork.build(small_ring).classes)
+        assert all(len(batch) <= 3 for batch in batches)
+        assert len(batches[0]) == 3
+
+    def test_invalid_parameters_rejected(self, small_ring):
+        with pytest.raises(ValueError):
+            CompressionPipeline(small_ring, executor="fleet")
+        with pytest.raises(ValueError):
+            CompressionPipeline(small_ring, workers=0)
+        with pytest.raises(ValueError):
+            CompressionPipeline(small_ring, batch_size=0)
+        with pytest.raises(ValueError):
+            CompressionPipeline(small_ring, limit=-1)
+        with pytest.raises(ValueError):
+            CompressionPipeline()
+
+
+# ----------------------------------------------------------------------
+# Crash handling
+# ----------------------------------------------------------------------
+class TestCrashHandling:
+    def test_worker_crash_surfaces_clean_error(self, small_ring, monkeypatch):
+        def boom(self, equivalence_class, build_network=True):
+            raise RuntimeError("synthetic worker crash")
+
+        monkeypatch.setattr(Bonsai, "compress", boom)
+        pipeline = CompressionPipeline(small_ring, executor="thread", workers=2)
+        with pytest.raises(PipelineError) as excinfo:
+            pipeline.run()
+        message = str(excinfo.value)
+        assert "10.0." in message  # names the equivalence class
+        assert "synthetic worker crash" in message
+
+    def test_serial_crash_surfaces_clean_error(self, small_ring, monkeypatch):
+        def boom(self, equivalence_class, build_network=True):
+            raise RuntimeError("synthetic serial crash")
+
+        monkeypatch.setattr(Bonsai, "compress", boom)
+        with pytest.raises(PipelineError, match="synthetic serial crash"):
+            CompressionPipeline(small_ring, executor="serial").run()
+
+
+# ----------------------------------------------------------------------
+# The encoded artifact
+# ----------------------------------------------------------------------
+class TestEncodedNetwork:
+    def test_round_trip_preserves_classes_and_encoder(self, small_fattree):
+        artifact = EncodedNetwork.build(small_fattree)
+        clone = EncodedNetwork.from_bytes(artifact.to_bytes())
+        assert [str(ec.prefix) for ec in clone.classes] == [
+            str(ec.prefix) for ec in artifact.classes
+        ]
+        # The clone owns a *different* manager with the same node store.
+        assert clone.encoder is not artifact.encoder
+        assert clone.encoder.manager is not artifact.encoder.manager
+        assert clone.encoder.manager.num_nodes() == artifact.encoder.manager.num_nodes()
+
+    def test_from_bytes_rejects_other_payloads(self):
+        with pytest.raises(TypeError):
+            EncodedNetwork.from_bytes(pickle.dumps({"not": "an artifact"}))
+
+    def test_pipeline_managers_are_bounded_by_default(self, small_ring):
+        artifact = EncodedNetwork.build(small_ring)
+        assert artifact.encoder.manager.cache_limit is not None
+        clone = EncodedNetwork.from_bytes(artifact.to_bytes())
+        assert clone.encoder.manager.cache_limit == artifact.encoder.manager.cache_limit
+
+    def test_syntactic_mode_has_no_encoder(self, small_ring):
+        artifact = EncodedNetwork.build(small_ring, use_bdds=False)
+        assert artifact.encoder is None
+        run = CompressionPipeline(artifact=artifact, executor="serial").run()
+        assert run.report.num_classes == len(artifact.classes)
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+class TestPipelineReport:
+    def test_json_round_trip(self, small_mesh):
+        report = run_pipeline(small_mesh, executor="serial").report
+        clone = PipelineReport.from_json(report.to_json())
+        assert clone == report
+        assert clone.canonical_records() == report.canonical_records()
+        assert clone.mean_abstract_nodes == report.mean_abstract_nodes
+
+    def test_speedup_is_recorded(self, small_ring):
+        report = run_pipeline(small_ring, executor="serial").report
+        assert report.speedup is None
+        report.serial_seconds = report.total_seconds * 2
+        assert report.speedup == pytest.approx(2.0)
+        clone = PipelineReport.from_json(report.to_json())
+        assert clone.speedup == pytest.approx(2.0)
+
+    def test_records_match_table1_style_summary(self, small_mesh):
+        """The pipeline's aggregates agree with Bonsai.summarize."""
+        bonsai = Bonsai(small_mesh)
+        results = bonsai.compress_all()
+        summary = bonsai.summarize(results)
+        report = bonsai.last_report
+        assert report.mean_abstract_nodes == pytest.approx(summary.mean_abstract_nodes)
+        assert report.mean_abstract_edges == pytest.approx(summary.mean_abstract_edges)
+        assert report.num_classes == summary.classes_compressed
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_cli_serial_run_with_report(self, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        code = pipeline_main(
+            [
+                "--topo", "ring", "--size", "5",
+                "--executor", "serial", "--output", str(out), "--per-class",
+            ]
+        )
+        assert code == 0
+        report = PipelineReport.from_json(out.read_text())
+        assert report.num_classes == 5
+        assert "compression pipeline" in capsys.readouterr().out
+
+    def test_cli_parallel_smoke(self, capsys):
+        code = pipeline_main(
+            ["--topo", "fattree", "--size", "4", "--workers", "2"]
+        )
+        assert code == 0
+        assert "speedup" not in capsys.readouterr().out
+
+    def test_cli_rejects_bad_size(self, capsys):
+        code = pipeline_main(["--topo", "fattree", "--size", "3"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.abstraction import UnionSplitFind, compute_abstraction, check_effective, check_cp_equivalence
-from repro.bdd import BddManager, BitVector, FALSE, TRUE
+from repro.bdd import BddManager, BitVector
 from repro.config import Prefix, PrefixTrie
 from repro.routing import BgpAttribute, BgpProtocol, RipAttribute, RipProtocol, build_rip_srp
 from repro.srp import solve

@@ -1,6 +1,5 @@
 """Unit tests for the eBGP model, policies and loop prevention (§3.2, §4.3)."""
 
-import pytest
 
 from repro.routing import (
     AddCommunity,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.routing import BgpAttribute, RipAttribute, SetLocalPref, build_bgp_srp, build_rip_srp
+from repro.routing import RipAttribute, SetLocalPref, build_bgp_srp, build_rip_srp
 from repro.srp import (
     SRP,
     SRPError,

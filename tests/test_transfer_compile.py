@@ -21,7 +21,6 @@ from repro.config.routemap import (
     RouteMapClause,
 )
 from repro.srp import solve
-from repro.topology import Graph
 
 DEST = Prefix.parse("10.0.1.0/24")
 
@@ -194,3 +193,30 @@ class TestSyntacticPolicyKeys:
         prefix = DEST
         keys = syntactic_policy_keys(network, prefix)
         assert keys[("spine", "leaf")] != keys[("edge", "spine")]
+
+
+class TestPickleSafety:
+    """SRPs (and their transfer functions) must survive pickling so the
+    parallel pipeline can ship compression work across processes."""
+
+    def test_srp_round_trips_through_pickle(self, network=None):
+        import pickle
+
+        net = parse_network(NETWORK_TEXT)
+        srp = build_srp_from_network(net, DEST)
+        clone = pickle.loads(pickle.dumps(srp))
+        for edge in srp.graph.edges:
+            assert clone.transfer(edge, None) == srp.transfer(edge, None)
+            assert clone.transfer(edge, srp.initial) == srp.transfer(edge, srp.initial)
+        assert clone.destination == srp.destination
+        assert clone.edge_policies == srp.edge_policies
+
+    def test_compiled_edges_pickle(self):
+        import pickle
+
+        net = parse_network(NETWORK_TEXT)
+        compiled = compile_edges(net, DEST)
+        clone = pickle.loads(pickle.dumps(compiled))
+        assert set(clone) == set(compiled)
+        for edge, info in compiled.items():
+            assert clone[edge] == info
