@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Differential batch verification: the soundness theorem, executably.
+
+The point of control-plane compression is answering verification queries
+on the *small* network while guaranteeing the same verdicts as the big
+one.  This example runs the full property catalogue -- reachability,
+all-paths reachability, black-hole freedom, routing-loop freedom, bounded
+path length, waypointing and multipath consistency -- per destination
+equivalence class on a fat-tree, on both the concrete and compressed
+networks, and shows that every verdict matches.  It then breaks the
+network with a bad ACL and shows both sides reporting the same violation,
+with the abstract counterexample lifted back to concrete device names.
+
+Run with::
+
+    PYTHONPATH=src python examples/batch_verification.py
+"""
+
+from repro import fattree_network
+from repro.analysis import BatchVerifier, PropertySuite
+from repro.config import parse_network
+
+BROKEN = """
+device origin
+  network 10.0.1.0/24
+  bgp-neighbor left export OUT
+  bgp-neighbor right export OUT
+  route-map OUT 10 permit
+
+device left
+  bgp-neighbor origin import IN
+  bgp-neighbor user import IN
+  route-map IN 10 permit
+
+device right
+  bgp-neighbor origin import IN
+  bgp-neighbor user import IN
+  route-map IN 10 permit
+  acl OOPS deny 10.0.1.0/24 default permit
+  interface-acl origin OOPS
+
+device user
+  bgp-neighbor left import IN export OUT
+  bgp-neighbor right import IN export OUT
+  route-map IN 10 permit
+  route-map OUT 10 permit
+
+link origin left
+link origin right
+link user left
+link user right
+"""
+
+
+def main() -> None:
+    # 1. Verify the whole catalogue on a healthy k=4 fat-tree.  The
+    #    BatchVerifier fans the per-class work out over the same executors
+    #    as the compression pipeline (serial here; pass executor="process"
+    #    and workers=N for the pool).
+    network = fattree_network(4)
+    report = BatchVerifier(network, executor="serial").run()
+    print(f"== {network.name} ==")
+    for line in report.summary_lines():
+        print(f"  {line}")
+
+    # 2. Verify a deliberately broken network: one ACL drops the traffic
+    #    that one of the two redundant paths carries.  Both networks must
+    #    report the same violations -- compression never masks a bug.
+    broken = parse_network(BROKEN)
+    suite = PropertySuite.from_names(
+        ["reachability", "black-hole-freedom", "multipath-consistency"]
+    )
+    report = BatchVerifier(broken, suite=suite, executor="serial").run()
+    print("\n== broken ACL network ==")
+    print(f"  verdicts agree: {report.verdicts_agree()}")
+    for record in report.records:
+        for verdict in record.verdicts:
+            if not verdict.concrete_failing:
+                continue
+            print(
+                f"  {record.prefix} {verdict.property}: fails at "
+                f"{verdict.concrete_failing} on BOTH networks"
+            )
+            for entry in verdict.counterexamples[:1]:
+                witness = entry["abstract"]
+                if witness is None:
+                    continue
+                print(f"    abstract witness: {witness['abstract']['detail']}")
+                print(f"    lifted to devices: {witness['concrete_candidates']}")
+
+
+if __name__ == "__main__":
+    main()

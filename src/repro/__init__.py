@@ -27,10 +27,14 @@ from repro.abstraction import (
     compute_abstraction,
 )
 from repro.analysis import (
+    BatchVerifier,
+    PropertySuite,
+    VerificationReport,
     compute_data_plane,
     compute_forwarding_table,
     single_reachability_query,
     verify_all_pairs_reachability,
+    verify_network,
     verify_with_abstraction,
 )
 from repro.config import Network, Prefix, parse_network
@@ -72,6 +76,10 @@ __all__ = [
     "compute_data_plane",
     "compute_forwarding_table",
     "single_reachability_query",
+    "BatchVerifier",
+    "PropertySuite",
+    "VerificationReport",
+    "verify_network",
     "verify_all_pairs_reachability",
     "verify_with_abstraction",
     "Network",

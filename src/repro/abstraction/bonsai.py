@@ -257,6 +257,7 @@ class Bonsai:
         the same behaviour.
         """
         prefix = equivalence_class.prefix
+        origins = set(equivalence_class.origins)
         abstract_graph = abstraction.abstract_graph
         devices: Dict[str, DeviceConfig] = {}
         graph = Graph()
@@ -296,7 +297,14 @@ class Bonsai:
                 prefix_lists=dict(concrete.prefix_lists),
                 acls=dict(concrete.acls),
             )
-            if concrete.originates(prefix):
+            # Originate the class prefix exactly where the *class* says it
+            # originates.  A containment check against the representative's
+            # own network statements would be wrong for trie-refined
+            # classes: a device originating a covering aggregate (say a
+            # /24) does not originate the /32 class carved out of it, and
+            # marking it as such would make the abstract network deliver
+            # at the wrong node.
+            if origins & set(abstraction.concrete_nodes(abstract_node)):
                 device.originated_prefixes.append(prefix)
 
             for abstract_neighbour in abstract_graph.successors(abstract_node):

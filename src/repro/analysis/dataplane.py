@@ -34,6 +34,30 @@ class ForwardingTable:
     origins: Set[Node]
     next_hops: Dict[Node, Set[Node]] = field(default_factory=dict)
     acl_blocked: Set[Edge] = field(default_factory=set)
+    #: Memoised path walks.  The batch verifier evaluates several
+    #: path-quantified properties per source on one table, so the
+    #: enumeration is cached; tables are build-once/read-many, and callers
+    #: must not mutate ``next_hops`` after reading paths (or must call
+    #: :meth:`clear_path_cache`).
+    _outcome_cache: Dict[Tuple[Node, int], Tuple[str, List[Node]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _paths_cache: Dict[Tuple[Node, int], List[List[Node]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Sources whose :meth:`all_paths` enumeration hit the ``max_paths``
+    #: cap: their path sets are incomplete, and path-quantified property
+    #: verdicts on them are not exhaustive.  The batch verifier checks
+    #: this to avoid presenting a truncated verdict as a sound one.
+    truncated_sources: Set[Node] = field(
+        default_factory=set, repr=False, compare=False
+    )
+
+    def clear_path_cache(self) -> None:
+        """Drop memoised walks (call after mutating ``next_hops``)."""
+        self._outcome_cache.clear()
+        self._paths_cache.clear()
+        self.truncated_sources.clear()
 
     def forwards_to(self, node: Node) -> Set[Node]:
         return self.next_hops.get(node, set())
@@ -54,6 +78,15 @@ class ForwardingTable:
         followed along the lexicographically smallest next hop; use
         :meth:`all_paths` for the full set.
         """
+        key = (source, max_hops)
+        cached = self._outcome_cache.get(key)
+        if cached is None:
+            cached = self._walk_outcome(source, max_hops)
+            self._outcome_cache[key] = cached
+        outcome, path = cached
+        return outcome, list(path)
+
+    def _walk_outcome(self, source: Node, max_hops: int) -> Tuple[str, List[Node]]:
         path = [source]
         node = source
         for _ in range(max_hops):
@@ -71,10 +104,21 @@ class ForwardingTable:
 
     def all_paths(self, source: Node, max_paths: int = 1000) -> List[List[Node]]:
         """Every forwarding path (under multipath) from ``source``."""
+        key = (source, max_paths)
+        cached = self._paths_cache.get(key)
+        if cached is None:
+            cached = self._walk_all_paths(source, max_paths)
+            self._paths_cache[key] = cached
+        return [list(path) for path in cached]
+
+    def _walk_all_paths(self, source: Node, max_paths: int) -> List[List[Node]]:
         results: List[List[Node]] = []
+        truncated = False
 
         def walk(node: Node, path: List[Node]) -> None:
+            nonlocal truncated
             if len(results) >= max_paths:
+                truncated = True
                 return
             if self.delivers(node):
                 results.append(path)
@@ -90,6 +134,8 @@ class ForwardingTable:
                 walk(nxt, path + [nxt])
 
         walk(source, [source])
+        if truncated:
+            self.truncated_sources.add(source)
         return results
 
 

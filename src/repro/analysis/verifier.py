@@ -28,7 +28,18 @@ from repro.topology.graph import Node
 
 
 class VerificationTimeout(Exception):
-    """Raised when a verification run exceeds its time budget."""
+    """Raised when a verification run exceeds its time budget.
+
+    ``partial`` carries whatever result the run produced before the budget
+    ran out (a :class:`VerificationResult` here, a
+    :class:`repro.analysis.batch.VerificationReport` for batch runs), so a
+    caller that catches the timeout still sees the work that finished --
+    the timeout is reported, never swallowed.
+    """
+
+    def __init__(self, message: str = "verification timed out", partial=None):
+        super().__init__(message)
+        self.partial = partial
 
 
 @dataclass
@@ -69,14 +80,17 @@ def verify_all_pairs_reachability(
     network: Network,
     classes: Optional[List[EquivalenceClass]] = None,
     timeout_seconds: Optional[float] = None,
+    raise_on_timeout: bool = False,
 ) -> VerificationResult:
     """Check reachability from every node to every destination class.
 
     This simulates the control plane of each class, walks the forwarding
     graph from every source and records whether the destination is
-    reached.  With ``timeout_seconds`` set, the run aborts (reporting a
-    timeout) once the budget is exhausted, mirroring the 10-minute timeout
-    used in the paper's Figure 12.
+    reached.  With ``timeout_seconds`` set, the run aborts once the budget
+    is exhausted, mirroring the 10-minute timeout used in the paper's
+    Figure 12: the result reports ``timed_out=True``, and with
+    ``raise_on_timeout`` a :class:`VerificationTimeout` carrying that
+    partial result is raised instead of returning it quietly.
     """
     start = time.perf_counter()
     if classes is None:
@@ -96,7 +110,7 @@ def verify_all_pairs_reachability(
                 unreachable += 1
         checked += 1
     elapsed = time.perf_counter() - start
-    return VerificationResult(
+    result = VerificationResult(
         network_name=network.name,
         seconds=elapsed,
         classes_checked=checked,
@@ -104,6 +118,13 @@ def verify_all_pairs_reachability(
         unreachable_pairs=unreachable,
         timed_out=timed_out,
     )
+    if timed_out and raise_on_timeout:
+        raise VerificationTimeout(
+            f"all-pairs verification of {network.name} exceeded "
+            f"{timeout_seconds}s after {checked} classes",
+            partial=result,
+        )
+    return result
 
 
 def verify_with_abstraction(
@@ -111,6 +132,7 @@ def verify_with_abstraction(
     classes: Optional[List[EquivalenceClass]] = None,
     timeout_seconds: Optional[float] = None,
     use_bdds: bool = True,
+    raise_on_timeout: bool = False,
 ) -> VerificationResult:
     """Compress each class with Bonsai first, then verify the small network.
 
@@ -118,6 +140,10 @@ def verify_with_abstraction(
     compression, exactly as in the paper's Figure 12 ("the verification
     time for abstract networks includes the time used to partition the
     network, build the BDDs, and compute the compressed network").
+
+    On budget exhaustion the partial result reports ``timed_out=True``;
+    with ``raise_on_timeout`` a :class:`VerificationTimeout` carrying that
+    partial result is raised instead (reported, not swallowed).
     """
     start = time.perf_counter()
     bonsai = Bonsai(network, use_bdds=use_bdds)
@@ -149,7 +175,7 @@ def verify_with_abstraction(
                     unreachable += 1
         checked += 1
     elapsed = time.perf_counter() - start
-    return VerificationResult(
+    result = VerificationResult(
         network_name=f"{network.name} (abstract)",
         seconds=elapsed,
         classes_checked=checked,
@@ -158,6 +184,13 @@ def verify_with_abstraction(
         timed_out=timed_out,
         compression_seconds=bonsai.bdd_seconds,
     )
+    if timed_out and raise_on_timeout:
+        raise VerificationTimeout(
+            f"abstract verification of {network.name} exceeded "
+            f"{timeout_seconds}s after {checked} classes",
+            partial=result,
+        )
+    return result
 
 
 def single_reachability_query(

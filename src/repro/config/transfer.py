@@ -269,8 +269,10 @@ class NetworkTransfer:
                     receiver_asn = receiver_cfg.asn or str(receiver)
                     sender_asn = sender_cfg.asn or str(sender)
                     if info.ibgp:
-                        # iBGP: no AS-path change and no AS-based loop check.
-                        incoming = outgoing
+                        # iBGP: no AS-path change and no AS-based loop
+                        # check, but the receiver ranks the route below
+                        # eBGP-learned ties (BgpAttribute.ibgp_learned).
+                        incoming = outgoing.via_ibgp()
                     elif outgoing.contains_as(receiver_asn):
                         incoming = None
                     else:

@@ -26,7 +26,12 @@ from repro.netgen.datacenter import (
     SMALL_SCALE as DATACENTER_SMALL_SCALE,
     datacenter_network,
 )
-from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology
+from repro.netgen.families import (
+    DEFAULT_FAMILY_SIZES,
+    TOPOLOGY_FAMILIES,
+    build_topology,
+    default_size,
+)
 from repro.netgen.wan import (
     PAPER_SCALE as WAN_PAPER_SCALE,
     SMALL_SCALE as WAN_SMALL_SCALE,
@@ -59,6 +64,8 @@ __all__ = [
     "WAN_SMALL_SCALE",
     "WanParams",
     "wan_network",
+    "DEFAULT_FAMILY_SIZES",
     "TOPOLOGY_FAMILIES",
     "build_topology",
+    "default_size",
 ]

@@ -14,7 +14,7 @@ so this module maps each family name to a builder taking a single integer:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.config.network import Network
 from repro.netgen.datacenter import DatacenterParams, datacenter_network
@@ -56,12 +56,34 @@ TOPOLOGY_FAMILIES: Dict[str, Tuple[Callable[[int], Network], str]] = {
     "wan": (_wan, "number of regions"),
 }
 
+#: The size each family defaults to when the CLI is invoked without
+#: ``--size`` (small enough for smoke runs, large enough to compress).
+DEFAULT_FAMILY_SIZES: Dict[str, int] = {
+    "fattree": 4,
+    "mesh": 6,
+    "ring": 8,
+    "datacenter": 2,
+    "wan": 2,
+}
 
-def build_topology(family: str, size: int) -> Network:
-    """Build a configured network of ``family`` at ``size``."""
+
+def default_size(family: str) -> int:
+    """The default size parameter for ``family``."""
+    try:
+        return DEFAULT_FAMILY_SIZES[family]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+        raise ValueError(
+            f"unknown topology family {family!r}; expected one of: {known}"
+        ) from None
+
+
+def build_topology(family: str, size: Optional[int] = None) -> Network:
+    """Build a configured network of ``family`` at ``size`` (default size
+    per :data:`DEFAULT_FAMILY_SIZES` when omitted)."""
     try:
         builder, _ = TOPOLOGY_FAMILIES[family]
     except KeyError:
         known = ", ".join(sorted(TOPOLOGY_FAMILIES))
         raise ValueError(f"unknown topology family {family!r}; expected one of: {known}")
-    return builder(size)
+    return builder(size if size is not None else default_size(family))

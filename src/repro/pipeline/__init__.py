@@ -1,33 +1,42 @@
-"""Parallel control-plane compression pipeline.
+"""Parallel per-class pipeline over destination equivalence classes.
 
-Destination equivalence classes never interact (§5.1), so compressing a
-network is embarrassingly parallel once the one-time policy-BDD encoding
-exists.  This package provides the batching/fan-out/aggregation machinery:
+Destination equivalence classes never interact (§5.1), so any per-class
+job -- compression, batch property verification -- is embarrassingly
+parallel once the one-time policy-BDD encoding exists.  This package
+provides the batching/fan-out/aggregation machinery:
 
 * :class:`EncodedNetwork` -- the pickleable one-time encoding artifact;
-* :class:`CompressionPipeline` -- batches classes over a process pool,
-  thread pool, or serial fallback;
+* :class:`ClassFanOut` -- the generic engine running any registered
+  per-class task over a process pool, thread pool, or serial fallback;
+* :class:`CompressionPipeline` -- the ``"compress"`` task plus report
+  aggregation on top of :class:`ClassFanOut`;
 * :class:`PipelineReport` / :class:`EcRecord` -- aggregated, JSON-ready
   results;
 * ``python -m repro.pipeline`` -- a CLI over the generated topology
-  families.
+  families (compression by default, batch verification with ``--verify``).
 """
 
 from repro.pipeline.core import (
+    CLASS_TASKS,
     EXECUTORS,
+    ClassFanOut,
     CompressionPipeline,
     PipelineError,
     PipelineRun,
+    register_class_task,
 )
 from repro.pipeline.encoded import EncodedNetwork
 from repro.pipeline.report import EcRecord, PipelineReport
 
 __all__ = [
+    "CLASS_TASKS",
     "EXECUTORS",
+    "ClassFanOut",
     "CompressionPipeline",
     "EncodedNetwork",
     "EcRecord",
     "PipelineError",
     "PipelineReport",
     "PipelineRun",
+    "register_class_task",
 ]

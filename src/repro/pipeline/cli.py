@@ -10,15 +10,32 @@ Write the full JSON report (the format CI uploads as an artifact)::
 
     python -m repro.pipeline --topo mesh --size 12 --executor serial \
         --output report.json
+
+Differentially verify the whole property catalogue on a fat-tree at its
+default size -- every verdict on the compressed network must match the
+concrete network::
+
+    python -m repro.pipeline --verify --family fattree
+
+Verify selected properties on every generated family and save the
+combined JSON report (exit status 1 if any verdict diverges)::
+
+    python -m repro.pipeline --verify --family all \
+        --properties reachability,routing-loop-freedom --output verify.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
-from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology
+from repro.analysis.batch import BatchVerifier, PropertySuite, VerificationReport
+from repro.analysis.properties import registered_properties
+from repro.analysis.verifier import VerificationTimeout
+from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology, default_size
 from repro.pipeline.core import EXECUTORS, CompressionPipeline, PipelineError
 
 
@@ -29,15 +46,26 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.pipeline",
         description="Compress every destination equivalence class of a "
-        "generated network in parallel and report aggregate statistics.",
+        "generated network in parallel and report aggregate statistics; "
+        "with --verify, differentially check the property catalogue on the "
+        "concrete and compressed networks instead.",
     )
     parser.add_argument(
         "--topo",
-        required=True,
         choices=sorted(TOPOLOGY_FAMILIES),
         help=f"topology family; size parameter per family: {families}",
     )
-    parser.add_argument("--size", type=int, required=True, help="family size parameter")
+    parser.add_argument(
+        "--family",
+        choices=sorted(TOPOLOGY_FAMILIES) + ["all"],
+        help="alias for --topo; 'all' runs every family at its default size",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="family size parameter (defaults to a small per-family size)",
+    )
     parser.add_argument(
         "--workers", type=int, default=4, help="worker count for parallel executors"
     )
@@ -51,7 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, help="classes per work unit"
     )
     parser.add_argument(
-        "--limit", type=int, default=None, help="compress only the first N classes"
+        "--limit", type=int, default=None, help="process only the first N classes"
     )
     parser.add_argument(
         "--build-networks",
@@ -64,22 +92,178 @@ def build_parser() -> argparse.ArgumentParser:
         help="use syntactic policy keys instead of BDDs (ablation mode)",
     )
     parser.add_argument(
-        "--output", default=None, help="write the JSON report to this file"
+        "--output",
+        default=None,
+        help="write the JSON report to this file (a single PipelineReport/"
+        "VerificationReport; with --family all, a {family: report} map)",
     )
     parser.add_argument(
         "--per-class", action="store_true", help="also print one line per class"
     )
+
+    verify = parser.add_argument_group("batch verification (--verify)")
+    verify.add_argument(
+        "--verify",
+        action="store_true",
+        help="differentially verify the property catalogue on the concrete "
+        "and compressed networks instead of just compressing",
+    )
+    verify.add_argument(
+        "--properties",
+        default=None,
+        help="comma-separated registered property names "
+        f"(default: all of {', '.join(registered_properties())})",
+    )
+    verify.add_argument(
+        "--path-bound",
+        type=int,
+        default=None,
+        help="hop bound for bounded-path-length (default: concrete node count)",
+    )
+    verify.add_argument(
+        "--waypoints",
+        default=None,
+        help="comma-separated device names for waypointing "
+        "(default: each class's originating devices)",
+    )
+    verify.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="total wall-clock budget in seconds, shared across families; "
+        "classes beyond it are reported as timed out and the exit status is 1",
+    )
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _selected_families(args) -> Optional[List[str]]:
+    """The families to run, or None on a usage error (message printed)."""
+    if args.topo and args.family:
+        print("error: pass either --topo or --family, not both", file=sys.stderr)
+        return None
+    family = args.family or args.topo
+    if family is None:
+        print("error: a topology family is required (--topo or --family)", file=sys.stderr)
+        return None
+    if family == "all":
+        if args.size is not None:
+            print("error: --size cannot be combined with --family all", file=sys.stderr)
+            return None
+        return sorted(TOPOLOGY_FAMILIES)
+    return [family]
+
+
+def _build_suite(args) -> PropertySuite:
+    waypoints = (
+        None
+        if args.waypoints is None
+        else tuple(name.strip() for name in args.waypoints.split(",") if name.strip())
+    )
+    params = {"path_bound": args.path_bound, "waypoints": waypoints}
+    if args.properties is None:
+        return PropertySuite.default(**params)
+    names = [name.strip() for name in args.properties.split(",") if name.strip()]
+    return PropertySuite.from_names(names, **params)
+
+
+def _write_output(path: str, text: str) -> bool:
     try:
-        network = build_topology(args.topo, args.size)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write report to {path}: {exc}", file=sys.stderr)
+        return False
+    print(f"  report written to {path}")
+    return True
+
+
+def _run_verify(args, families: List[str]) -> int:
+    try:
+        suite = _build_suite(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    reports = {}
+    diverged = False
+    timed_out = False
+    # One shared wall-clock budget across every family: each verifier gets
+    # whatever remains, so "--family all --timeout 60" means 60 seconds
+    # total, not 60 per family.
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    for family in families:
+        size = args.size if args.size is not None else default_size(family)
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
+        )
+        if remaining is not None and remaining <= 0:
+            # Budget already spent: skip the expensive network build and
+            # policy-BDD encoding entirely and report the family as timed
+            # out rather than paying per-family setup costs the flag was
+            # meant to bound.
+            report = VerificationReport(
+                network_name=f"{family}-{size}",
+                executor=args.executor,
+                workers=args.workers,
+                num_classes=0,
+                properties=list(suite.names),
+                path_bound=suite.path_bound,
+                encode_seconds=0.0,
+                total_seconds=0.0,
+                timed_out=True,
+            )
+        else:
+            network = build_topology(family, size)
+            verifier = BatchVerifier(
+                network,
+                suite=suite,
+                executor=args.executor,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                limit=args.limit,
+                timeout_seconds=remaining,
+                use_bdds=not args.syntactic,
+            )
+            try:
+                report = verifier.run(raise_on_timeout=False)
+            except PipelineError as exc:
+                print(f"verification failed: {exc}", file=sys.stderr)
+                return 1
+        reports[family] = report
+        diverged = diverged or not report.verdicts_agree()
+        timed_out = timed_out or report.timed_out
+        print(f"== batch verification: {family}({size}) ==")
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if args.per_class:
+            for record in report.records:
+                status = "TIMED OUT" if record.timed_out else (
+                    "ok" if record.agrees() else "DIVERGED"
+                )
+                print(
+                    f"  {record.prefix}: {status} "
+                    f"(concrete {record.concrete_seconds:.4f}s, "
+                    f"abstract {record.abstract_seconds:.4f}s)"
+                )
+
+    if args.output:
+        if len(reports) == 1:
+            text = next(iter(reports.values())).to_json()
+        else:
+            text = json.dumps(
+                {family: report.to_dict() for family, report in reports.items()},
+                indent=2,
+                sort_keys=True,
+            )
+        if not _write_output(args.output, text):
+            return 1
+    return 1 if (diverged or timed_out) else 0
+
+
+def _run_compress(args, family: str) -> int:
+    size = args.size if args.size is not None else default_size(family)
+    network = build_topology(family, size)
     try:
         pipeline = CompressionPipeline(
             network,
@@ -100,7 +284,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
 
     report = run.report
-    print(f"== compression pipeline: {args.topo}({args.size}) ==")
+    print(f"== compression pipeline: {family}({size}) ==")
     for line in report.summary_lines():
         print(f"  {line}")
     if args.per_class:
@@ -110,13 +294,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{record.abstract_nodes} nodes "
                 f"({record.node_ratio:.2f}x) in {record.compression_seconds:.4f}s"
             )
-    if args.output:
-        try:
-            with open(args.output, "w", encoding="utf-8") as handle:
-                handle.write(report.to_json())
-                handle.write("\n")
-        except OSError as exc:
-            print(f"error: cannot write report to {args.output}: {exc}", file=sys.stderr)
-            return 1
-        print(f"  report written to {args.output}")
+    if args.output and not _write_output(args.output, report.to_json()):
+        return 1
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    families = _selected_families(args)
+    if families is None:
+        return 2
+    try:
+        if args.verify:
+            return _run_verify(args, families)
+        misused = [
+            flag
+            for flag, value in (
+                ("--properties", args.properties),
+                ("--path-bound", args.path_bound),
+                ("--waypoints", args.waypoints),
+                ("--timeout", args.timeout),
+            )
+            if value is not None
+        ]
+        if misused:
+            print(
+                f"error: {', '.join(misused)} require(s) --verify",
+                file=sys.stderr,
+            )
+            return 2
+        if len(families) > 1:
+            print("error: --family all requires --verify", file=sys.stderr)
+            return 2
+        return _run_compress(args, families[0])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except VerificationTimeout as exc:  # pragma: no cover - defensive
+        print(f"verification timed out: {exc}", file=sys.stderr)
+        return 1

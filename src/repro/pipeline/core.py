@@ -1,13 +1,16 @@
-"""The parallel compression pipeline (§5.1's "classes are independent").
+"""The parallel per-class pipeline (§5.1's "classes are independent").
 
-:class:`CompressionPipeline` splits a network's destination equivalence
-classes into batches and fans the batches out over a pool of workers.
-Three executors are supported:
+Destination equivalence classes never interact, so any per-class job --
+compression, property verification, ... -- can be fanned out over a pool
+of workers once the one-time :class:`~repro.pipeline.encoded.EncodedNetwork`
+artifact is in hand.  :class:`ClassFanOut` is that generic engine: it
+splits the classes into batches, dispatches a *registered task* to a pool,
+and streams the per-class results back in class order.  Three executors
+are supported:
 
 * ``"process"`` -- a :class:`~concurrent.futures.ProcessPoolExecutor`; the
-  one-time :class:`~repro.pipeline.encoded.EncodedNetwork` artifact is
-  pickled once and handed to each worker process via the pool initializer,
-  so every process owns a private, fully hash-consed
+  one-time artifact is pickled once and handed to each worker process via
+  the pool initializer, so every process owns a private, fully hash-consed
   :class:`~repro.bdd.manager.BddManager`;
 * ``"thread"`` -- a :class:`~concurrent.futures.ThreadPoolExecutor`; each
   worker *thread* still receives its own unpickled copy of the artifact
@@ -18,13 +21,21 @@ Three executors are supported:
   order, with no pickling.  This is the deterministic fallback and the
   baseline the scaling benchmark compares against.
 
-Results stream back to the coordinator as workers finish; the aggregator
-reorders them by class index and folds every per-class outcome into a
-:class:`~repro.pipeline.report.PipelineReport`.
+Tasks are module-level callables ``task(bonsai, equivalence_class,
+options) -> result`` addressed by a ``"module:function"`` path, so worker
+processes can resolve them by import regardless of which modules the
+coordinator happened to load.  :data:`CLASS_TASKS` maps short names
+(``"compress"``, ``"verify"``) to those paths.
+
+:class:`CompressionPipeline` -- the PR 1 subsystem -- is the ``"compress"``
+task plus report aggregation on top of the generic engine; the batch
+property-verification engine (:class:`repro.analysis.batch.BatchVerifier`)
+rides the same executors with the ``"verify"`` task.
 """
 
 from __future__ import annotations
 
+import importlib
 import threading
 import time
 import traceback
@@ -36,7 +47,7 @@ from concurrent.futures import (
     wait,
 )
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.abstraction.bonsai import Bonsai, CompressionResult
 from repro.abstraction.ec import EquivalenceClass
@@ -44,12 +55,59 @@ from repro.config.network import Network
 from repro.pipeline.encoded import EncodedNetwork
 from repro.pipeline.report import EcRecord, PipelineReport
 
-#: The executors understood by :class:`CompressionPipeline`.
+#: The executors understood by :class:`ClassFanOut`.
 EXECUTORS = ("serial", "thread", "process")
 
 
 class PipelineError(RuntimeError):
-    """A worker failed while compressing an equivalence class."""
+    """A worker failed while running a per-class task."""
+
+
+# ----------------------------------------------------------------------
+# Task registry
+# ----------------------------------------------------------------------
+#: Short task name -> ``"module:function"`` path of a per-class callable
+#: ``task(bonsai, equivalence_class, options) -> result``.  The *path* is
+#: what gets shipped to workers, so fresh processes resolve the callable
+#: by import without needing the registering module pre-loaded.
+CLASS_TASKS: Dict[str, str] = {
+    "compress": "repro.pipeline.core:compress_class_task",
+}
+
+
+def register_class_task(name: str, path: str) -> None:
+    """Register (or replace) a named per-class task by dotted path."""
+    if ":" not in path:
+        raise ValueError(f"task path must look like 'module:function', got {path!r}")
+    CLASS_TASKS[name] = path
+
+
+def resolve_class_task(name_or_path: str) -> str:
+    """Normalise a task reference to its ``"module:function"`` path."""
+    if name_or_path in CLASS_TASKS:
+        return CLASS_TASKS[name_or_path]
+    if ":" in name_or_path:
+        return name_or_path
+    known = ", ".join(sorted(CLASS_TASKS))
+    raise ValueError(f"unknown task {name_or_path!r}; registered: {known}")
+
+
+def _import_task(path: str) -> Callable[[Bonsai, EquivalenceClass, dict], object]:
+    module_name, _, attr = path.partition(":")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, attr)
+    except AttributeError:
+        raise PipelineError(f"task {path!r} does not exist") from None
+
+
+def compress_class_task(
+    bonsai: Bonsai, equivalence_class: EquivalenceClass, options: dict
+) -> CompressionResult:
+    """The ``"compress"`` task: Bonsai compression of one class."""
+    return bonsai.compress(
+        equivalence_class, build_network=bool(options.get("build_networks", False))
+    )
 
 
 # ----------------------------------------------------------------------
@@ -67,20 +125,23 @@ def _init_worker(payload: bytes) -> None:
     _worker_state.bonsai = artifact.make_bonsai()
 
 
-def _compress_batch(
-    batch: Sequence[Tuple[int, EquivalenceClass]], build_networks: bool
+def _run_batch(
+    task_path: str,
+    batch: Sequence[Tuple[int, EquivalenceClass]],
+    options: dict,
 ) -> List[Tuple[int, object]]:
-    """Compress one batch of ``(index, class)`` pairs in a worker.
+    """Run one batch of ``(index, class)`` pairs through a task in a worker.
 
     Failures are returned as ``(index, _WorkerFailure)`` markers rather than
     raised, so one bad class produces a clean coordinator-side error naming
     the class instead of a bare pickled traceback from the pool.
     """
     bonsai: Bonsai = _worker_state.bonsai
+    task = _import_task(task_path)
     out: List[Tuple[int, object]] = []
     for index, equivalence_class in batch:
         try:
-            result = bonsai.compress(equivalence_class, build_network=build_networks)
+            result = task(bonsai, equivalence_class, options)
         except Exception as exc:  # noqa: BLE001 - reported to the coordinator
             out.append(
                 (
@@ -109,28 +170,22 @@ class _WorkerFailure:
 # ----------------------------------------------------------------------
 # Coordinator side
 # ----------------------------------------------------------------------
-@dataclass
-class PipelineRun:
-    """The outcome of one pipeline execution."""
-
-    #: Full per-class results, in equivalence-class order.
-    results: List[CompressionResult]
-    #: Aggregated, JSON-serialisable view of the run.
-    report: PipelineReport
-
-
-class CompressionPipeline:
-    """Batch, fan out, and aggregate per-class compression.
+class ClassFanOut:
+    """Fan a registered per-class task out over the equivalence classes.
 
     Parameters
     ----------
     network:
-        The configured network to compress (ignored when ``artifact`` is
-        given).
+        The configured network (ignored when ``artifact`` is given).
     artifact:
         A pre-built :class:`EncodedNetwork`; building one up front lets
         several runs (e.g. serial and parallel benchmark arms) share the
         one-time encoding.
+    task:
+        A registered task name (see :data:`CLASS_TASKS`) or an explicit
+        ``"module:function"`` path.
+    task_options:
+        A pickleable dictionary passed verbatim to every task invocation.
     executor:
         ``"serial"``, ``"thread"`` or ``"process"``.
     workers:
@@ -140,9 +195,7 @@ class CompressionPipeline:
         so each worker sees about four batches (cheap load balancing
         without per-class submission overhead).
     limit:
-        Compress only the first ``limit`` classes.
-    build_networks:
-        Whether workers also emit the abstract configured network per class.
+        Run only the first ``limit`` classes.
     use_bdds:
         Forwarded to :class:`~repro.abstraction.bonsai.Bonsai`.
     """
@@ -152,11 +205,12 @@ class CompressionPipeline:
         network: Optional[Network] = None,
         *,
         artifact: Optional[EncodedNetwork] = None,
+        task: str = "compress",
+        task_options: Optional[dict] = None,
         executor: str = "process",
         workers: int = 4,
         batch_size: Optional[int] = None,
         limit: Optional[int] = None,
-        build_networks: bool = False,
         use_bdds: bool = True,
     ):
         if executor not in EXECUTORS:
@@ -173,23 +227,16 @@ class CompressionPipeline:
             raise ValueError("limit must be >= 0")
         self.network = artifact.network if artifact is not None else network
         self.artifact = artifact
+        self.task = resolve_class_task(task)
+        self.task_options = dict(task_options or {})
         self.executor = executor
         self.workers = workers
         self.batch_size = batch_size
         self.limit = limit
-        self.build_networks = build_networks
         self.use_bdds = use_bdds
-
-    @classmethod
-    def from_bonsai(cls, bonsai: Bonsai, **kwargs) -> "CompressionPipeline":
-        """A pipeline reusing a ``Bonsai``'s network and (built) encoder."""
-        artifact = EncodedNetwork.build(
-            bonsai.network,
-            use_bdds=bonsai.use_bdds,
-            encoder=bonsai.encoder if bonsai.use_bdds else None,
-        )
-        kwargs.setdefault("use_bdds", bonsai.use_bdds)
-        return cls(artifact=artifact, **kwargs)
+        #: What the most recent :meth:`execute` actually ran.
+        self.last_classes: List[EquivalenceClass] = []
+        self.last_batches: List[List[Tuple[int, EquivalenceClass]]] = []
 
     # ------------------------------------------------------------------
     # Batching
@@ -216,51 +263,44 @@ class CompressionPipeline:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self) -> PipelineRun:
-        """Compress every class and aggregate the results."""
-        start = time.perf_counter()
+    def execute(self) -> List[object]:
+        """Run the task on every class; results come back in class order.
+
+        The classes and batches actually used are kept on
+        ``last_classes`` / ``last_batches`` so aggregators report exactly
+        what ran instead of re-deriving (and possibly diverging from) the
+        batching.
+        """
         artifact = self._ensure_artifact()
         classes = artifact.classes
         if self.limit is not None:
             classes = classes[: self.limit]
         batches = self.partition(classes)
+        self.last_classes = classes
+        self.last_batches = batches
 
         if self.executor == "serial" or not batches:
             indexed_results = self._run_serial(artifact, batches)
         else:
             indexed_results = self._run_pool(artifact, batches)
 
-        results = [result for _, result in sorted(indexed_results, key=lambda p: p[0])]
-        total_seconds = time.perf_counter() - start
-        report = PipelineReport(
-            network_name=self.network.name,
-            executor=self.executor,
-            workers=1 if self.executor == "serial" else self.workers,
-            batch_size=len(batches[0]) if batches else 0,
-            num_batches=len(batches),
-            num_classes=len(classes),
-            encode_seconds=artifact.encode_seconds,
-            total_seconds=total_seconds,
-            records=[EcRecord.from_result(result) for result in results],
-        )
-        return PipelineRun(results=results, report=report)
+        return [result for _, result in sorted(indexed_results, key=lambda p: p[0])]
 
     def _run_serial(
         self,
         artifact: EncodedNetwork,
         batches: List[List[Tuple[int, EquivalenceClass]]],
-    ) -> List[Tuple[int, CompressionResult]]:
+    ) -> List[Tuple[int, object]]:
         bonsai = artifact.make_bonsai()
-        out: List[Tuple[int, CompressionResult]] = []
+        task = _import_task(self.task)
+        out: List[Tuple[int, object]] = []
         for batch in batches:
             for index, equivalence_class in batch:
                 try:
-                    result = bonsai.compress(
-                        equivalence_class, build_network=self.build_networks
-                    )
+                    result = task(bonsai, equivalence_class, self.task_options)
                 except Exception as exc:
                     raise PipelineError(
-                        f"compression of equivalence class "
+                        f"task {self.task!r} on equivalence class "
                         f"{equivalence_class.prefix} failed: {exc!r}"
                     ) from exc
                 out.append((index, result))
@@ -283,13 +323,13 @@ class CompressionPipeline:
         self,
         artifact: EncodedNetwork,
         batches: List[List[Tuple[int, EquivalenceClass]]],
-    ) -> List[Tuple[int, CompressionResult]]:
+    ) -> List[Tuple[int, object]]:
         payload = artifact.to_bytes()
-        out: List[Tuple[int, CompressionResult]] = []
+        out: List[Tuple[int, object]] = []
         try:
             with self._make_pool(payload) as pool:
                 pending = {
-                    pool.submit(_compress_batch, batch, self.build_networks)
+                    pool.submit(_run_batch, self.task, batch, self.task_options)
                     for batch in batches
                 }
                 try:
@@ -299,7 +339,7 @@ class CompressionPipeline:
                             for index, item in future.result():
                                 if isinstance(item, _WorkerFailure):
                                     raise PipelineError(
-                                        f"compression of equivalence class "
+                                        f"task {self.task!r} on equivalence class "
                                         f"{item.prefix} failed in a "
                                         f"{self.executor} worker: {item.error}\n"
                                         f"{item.traceback}"
@@ -315,7 +355,89 @@ class CompressionPipeline:
         except Exception as exc:
             # e.g. BrokenProcessPool when a worker dies outright.
             raise PipelineError(
-                f"{self.executor} pool failed while compressing "
+                f"{self.executor} pool failed while running {self.task!r} on "
                 f"{self.network.name}: {exc!r}"
             ) from exc
         return out
+
+
+@dataclass
+class PipelineRun:
+    """The outcome of one compression-pipeline execution."""
+
+    #: Full per-class results, in equivalence-class order.
+    results: List[CompressionResult]
+    #: Aggregated, JSON-serialisable view of the run.
+    report: PipelineReport
+
+
+class CompressionPipeline(ClassFanOut):
+    """Batch, fan out, and aggregate per-class compression.
+
+    This is :class:`ClassFanOut` specialised to the ``"compress"`` task,
+    plus aggregation of the per-class outcomes into a
+    :class:`~repro.pipeline.report.PipelineReport`.
+
+    Parameters are those of :class:`ClassFanOut` (minus ``task`` /
+    ``task_options``) plus:
+
+    build_networks:
+        Whether workers also emit the abstract configured network per class.
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        *,
+        artifact: Optional[EncodedNetwork] = None,
+        executor: str = "process",
+        workers: int = 4,
+        batch_size: Optional[int] = None,
+        limit: Optional[int] = None,
+        build_networks: bool = False,
+        use_bdds: bool = True,
+    ):
+        super().__init__(
+            network,
+            artifact=artifact,
+            task="compress",
+            task_options={"build_networks": build_networks},
+            executor=executor,
+            workers=workers,
+            batch_size=batch_size,
+            limit=limit,
+            use_bdds=use_bdds,
+        )
+        self.build_networks = build_networks
+
+    @classmethod
+    def from_bonsai(cls, bonsai: Bonsai, **kwargs) -> "CompressionPipeline":
+        """A pipeline reusing a ``Bonsai``'s network and (built) encoder."""
+        artifact = EncodedNetwork.build(
+            bonsai.network,
+            use_bdds=bonsai.use_bdds,
+            encoder=bonsai.encoder if bonsai.use_bdds else None,
+        )
+        kwargs.setdefault("use_bdds", bonsai.use_bdds)
+        return cls(artifact=artifact, **kwargs)
+
+    def run(self) -> PipelineRun:
+        """Compress every class and aggregate the results."""
+        start = time.perf_counter()
+        results = self.execute()
+        total_seconds = time.perf_counter() - start
+        artifact = self.artifact
+        classes = self.last_classes
+        batches = self.last_batches
+        report = PipelineReport(
+            network_name=self.network.name,
+            executor=self.executor,
+            workers=1 if self.executor == "serial" else self.workers,
+            batch_size=len(batches[0]) if batches else 0,
+            num_batches=len(batches),
+            num_classes=len(classes),
+            encode_seconds=artifact.encode_seconds,
+            total_seconds=total_seconds,
+            records=[EcRecord.from_result(result) for result in results],
+        )
+        return PipelineRun(results=results, report=report)

@@ -85,6 +85,12 @@ class BgpAttribute:
     local_pref: int = DEFAULT_LOCAL_PREF
     communities: FrozenSet[str] = field(default_factory=frozenset)
     as_path: Tuple[str, ...] = ()
+    #: Whether this route was learned over an iBGP session.  Real BGP
+    #: prefers eBGP-learned over iBGP-learned routes (decision step after
+    #: the AS-path length comparison); without this step, two route
+    #: reflectors that learn a destination both directly (eBGP) and from
+    #: each other (iBGP) tie and "forward" into a transient two-node cycle.
+    ibgp_learned: bool = False
 
     def __post_init__(self) -> None:
         if self.local_pref < 0:
@@ -110,8 +116,14 @@ class BgpAttribute:
         return replace(self, local_pref=local_pref)
 
     def prepended(self, asn: str) -> "BgpAttribute":
-        """A copy with ``asn`` prepended to the AS path (route export)."""
-        return replace(self, as_path=(asn,) + self.as_path)
+        """A copy with ``asn`` prepended to the AS path (eBGP route export);
+        the receiver learns it over eBGP, so the iBGP mark is cleared."""
+        return replace(self, as_path=(asn,) + self.as_path, ibgp_learned=False)
+
+    def via_ibgp(self) -> "BgpAttribute":
+        """A copy marked as learned over an iBGP session (AS path, local
+        preference and communities travel unchanged)."""
+        return replace(self, ibgp_learned=True)
 
     def contains_as(self, asn: str) -> bool:
         """True if ``asn`` already appears in the AS path (loop detection)."""

@@ -45,10 +45,13 @@ class BgpProtocol(Protocol):
         return BgpAttribute(local_pref=DEFAULT_LOCAL_PREF, communities=frozenset(), as_path=())
 
     def prefer(self, a: BgpAttribute, b: BgpAttribute) -> bool:
-        """Higher local-pref wins; ties broken on shorter AS path."""
+        """Higher local-pref wins; ties broken on shorter AS path, then on
+        eBGP-learned over iBGP-learned (the standard decision process)."""
         if a.local_pref != b.local_pref:
             return a.local_pref > b.local_pref
-        return a.path_length < b.path_length
+        if a.path_length != b.path_length:
+            return a.path_length < b.path_length
+        return (not a.ibgp_learned) and b.ibgp_learned
 
     def default_transfer(
         self, edge: Edge, attribute: Optional[BgpAttribute]
@@ -70,6 +73,7 @@ class BgpProtocol(Protocol):
             local_pref=attribute.local_pref,
             communities=attribute.communities - self.unused_communities,
             as_path=path,
+            ibgp_learned=attribute.ibgp_learned,
         )
 
 

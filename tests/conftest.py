@@ -84,3 +84,55 @@ def small_wan():
 @pytest.fixture
 def some_prefix() -> Prefix:
     return Prefix.parse("10.0.1.0/24")
+
+
+#: A small network with a deliberately broken ACL: s2 drops traffic for
+#: 10.0.1.0/24 towards t1, so that destination has a reachable black hole
+#: (and a multipath inconsistency) that must survive compression.
+BROKEN_ACL_NETWORK = """
+device t1
+  network 10.0.1.0/24
+  bgp-neighbor s1 export OUT
+  bgp-neighbor s2 export OUT
+  route-map OUT 10 permit
+
+device t2
+  network 10.0.2.0/24
+  bgp-neighbor s1 export OUT
+  bgp-neighbor s2 export OUT
+  route-map OUT 10 permit
+
+device s1
+  bgp-neighbor t1 import IN
+  bgp-neighbor t2 import IN
+  bgp-neighbor x import IN
+  route-map IN 10 permit
+
+device s2
+  bgp-neighbor t1 import IN
+  bgp-neighbor t2 import IN
+  bgp-neighbor x import IN
+  route-map IN 10 permit
+  acl OOPS deny 10.0.1.0/24 default permit
+  interface-acl t1 OOPS
+
+device x
+  bgp-neighbor s1 import IN export OUT
+  bgp-neighbor s2 import IN export OUT
+  route-map IN 10 permit
+  route-map OUT 10 permit
+
+link t1 s1
+link t1 s2
+link t2 s1
+link t2 s2
+link x s1
+link x s2
+"""
+
+
+@pytest.fixture
+def broken_acl_network():
+    from repro.config import parse_network
+
+    return parse_network(BROKEN_ACL_NETWORK)

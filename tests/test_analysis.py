@@ -148,6 +148,70 @@ class TestPropertyCheckers:
         assert len(reachable_sources(table)) == 20
 
 
+class TestStructuredCounterexamples:
+    """Failing checks name the offending node/cycle, not just a boolean."""
+
+    def test_routing_loop_counterexample_carries_cycle(self):
+        network = parse_network(LOOP_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        result = check_routing_loop(table)
+        assert result.holds
+        witness = result.counterexample
+        assert witness is not None and witness.kind == "loop"
+        assert witness.node in ("a", "b")
+        # The cycle is closed (first == last) and is the a<->b two-cycle.
+        assert witness.cycle[0] == witness.cycle[-1]
+        assert set(witness.cycle) == {"a", "b"}
+        assert witness.to_dict()["cycle"] == [str(n) for n in witness.cycle]
+
+    def test_routing_loop_counterexample_respects_sources(self):
+        network = parse_network(LOOP_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        result = check_routing_loop(table, sources=["b"])
+        assert result.counterexample.node == "b"
+        assert not check_routing_loop(table, sources=["dst"]).holds
+
+    def test_multipath_counterexample_names_diverging_source(self, broken_acl_network):
+        ec = next(
+            ec
+            for ec in routable_equivalence_classes(broken_acl_network)
+            if ec.prefix == Prefix.parse("10.0.1.0/24")
+        )
+        table = compute_forwarding_table(broken_acl_network, ec)
+        result = check_multipath_consistency(table, "x")
+        assert not result.holds
+        witness = result.counterexample
+        assert witness.kind == "divergence"
+        assert witness.node == "x"
+        # The recorded path is the dropped one; the detail names both.
+        assert witness.path[0] == "x"
+        assert "delivers via" in witness.detail and "drops via" in witness.detail
+
+    def test_consistent_source_has_no_counterexample(self, broken_acl_network):
+        ec = next(
+            ec
+            for ec in routable_equivalence_classes(broken_acl_network)
+            if ec.prefix == Prefix.parse("10.0.2.0/24")
+        )
+        table = compute_forwarding_table(broken_acl_network, ec)
+        result = check_multipath_consistency(table, "x")
+        assert result.holds
+        assert result.counterexample is None
+
+    def test_blackhole_counterexample_names_dropping_device(self):
+        network = parse_network(BLACKHOLE_NETWORK)
+        ec = routable_equivalence_classes(network)[0]
+        table = compute_forwarding_table(network, ec)
+        result = check_black_hole(table, "src")
+        assert result.counterexample.kind == "blackhole"
+        assert result.counterexample.node == "mid"
+        unreachable = check_reachability(table, "src")
+        assert unreachable.counterexample.kind == "blackhole"
+        assert unreachable.counterexample.path == ("src", "mid")
+
+
 class TestVerifier:
     def test_concrete_and_abstract_agree_on_reachability(self, small_fattree):
         concrete = verify_all_pairs_reachability(small_fattree)
@@ -168,6 +232,32 @@ class TestVerifier:
         result = verify_all_pairs_reachability(small_fattree, timeout_seconds=0.0)
         assert result.timed_out
         assert result.classes_checked == 0
+
+    def test_timeout_raised_with_partial_result(self, small_fattree):
+        from repro.analysis import VerificationTimeout
+
+        with pytest.raises(VerificationTimeout) as excinfo:
+            verify_all_pairs_reachability(
+                small_fattree, timeout_seconds=0.0, raise_on_timeout=True
+            )
+        partial = excinfo.value.partial
+        assert partial is not None and partial.timed_out
+        assert partial.classes_checked == 0
+
+    def test_abstract_timeout_raised_and_reported(self, small_fattree):
+        """verify_with_abstraction's timeout path: flagged result by
+        default, VerificationTimeout with the partial result on demand."""
+        from repro.analysis import VerificationTimeout
+
+        reported = verify_with_abstraction(small_fattree, timeout_seconds=0.0)
+        assert reported.timed_out
+        assert reported.classes_checked == 0
+        with pytest.raises(VerificationTimeout) as excinfo:
+            verify_with_abstraction(
+                small_fattree, timeout_seconds=0.0, raise_on_timeout=True
+            )
+        assert excinfo.value.partial.timed_out
+        assert excinfo.value.partial.network_name.endswith("(abstract)")
 
     def test_single_query_with_and_without_abstraction(self, small_fattree):
         destination = Prefix.parse("10.0.1.0/24")

@@ -3,8 +3,12 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.abstraction import UnionSplitFind, compute_abstraction, check_effective, check_cp_equivalence
+from repro.analysis import BatchVerifier, VerificationReport
 from repro.bdd import BddManager, BitVector
 from repro.config import Prefix, PrefixTrie
+from repro.config.routemap import RouteMap, RouteMapClause
+from repro.netgen import uniform_bgp_network
+from repro.pipeline import EncodedNetwork
 from repro.routing import BgpAttribute, BgpProtocol, RipAttribute, RipProtocol, build_rip_srp
 from repro.srp import solve
 from repro.topology import Graph
@@ -211,3 +215,61 @@ def test_compression_is_effective_and_cp_equivalent_on_random_rip(graph_and_node
     assert result.num_abstract_nodes <= graph.num_nodes()
     assert check_effective(srp, result.abstraction).is_effective
     assert check_cp_equivalence(srp, result.abstraction, strict_labels=True).cp_equivalent
+
+
+# ----------------------------------------------------------------------
+# Batch differential verification on random configured networks
+# ----------------------------------------------------------------------
+_DENY_IN = RouteMap(name="DENY-IN", clauses=(RouteMapClause(sequence=10, action="deny"),))
+_PREF_IN = RouteMap(
+    name="PREF-IN", clauses=(RouteMapClause(sequence=10, action="permit", set_local_pref=200),)
+)
+
+
+@st.composite
+def perturbed_bgp_networks(draw):
+    """A random connected eBGP network with random route-map perturbations.
+
+    One device originates a /24; up to three (device, neighbour) import
+    policies are replaced with a deny-all or a local-pref bump, so the
+    generated networks exercise black holes, asymmetric paths and BGP case
+    splitting -- not just the symmetric happy path.
+    """
+    graph, nodes = random_connected_graph(draw, max_extra_edges=6)
+    network = uniform_bgp_network(graph, name="hypothesis", originators=[nodes[0]])
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        device = network.devices[nodes[draw(st.integers(0, len(nodes) - 1))]]
+        neighbours = sorted(device.bgp_neighbors)
+        if not neighbours:
+            continue
+        peer = neighbours[draw(st.integers(0, len(neighbours) - 1))]
+        route_map = _DENY_IN if draw(st.booleans()) else _PREF_IN
+        device.route_maps[route_map.name] = route_map
+        device.bgp_neighbors[peer].import_policy = route_map.name
+    return network
+
+
+@settings(max_examples=5, deadline=None)
+@given(perturbed_bgp_networks())
+def test_batch_verifier_serial_and_thread_bit_identical(network):
+    """Serial and thread executors agree record-for-record (timings aside),
+    and the differential soundness oracle holds on every random network."""
+    artifact = EncodedNetwork.build(network)
+    serial = BatchVerifier(artifact=artifact, executor="serial").run()
+    threaded = BatchVerifier(artifact=artifact, executor="thread", workers=2).run()
+    assert serial.canonical_records() == threaded.canonical_records()
+    assert serial.verdicts_agree()
+
+
+@settings(max_examples=3, deadline=None)
+@given(perturbed_bgp_networks())
+def test_batch_verifier_process_pool_bit_identical(network):
+    """The process pool (private BDD managers per worker) returns the same
+    canonical VerificationReport as the serial fallback."""
+    artifact = EncodedNetwork.build(network)
+    serial = BatchVerifier(artifact=artifact, executor="serial").run()
+    process = BatchVerifier(artifact=artifact, executor="process", workers=2).run()
+    assert serial.canonical_records() == process.canonical_records()
+    assert VerificationReport.from_json(process.to_json()).canonical_records() == (
+        serial.canonical_records()
+    )

@@ -130,3 +130,67 @@ class TestCustomPolicyKeys:
         groups = {frozenset(g) for g in result.abstraction.groups()}
         assert frozenset({"b1"}) in groups
         assert frozenset({"b2"}) in groups
+
+
+class TestRefinementCoverage:
+    """Corner cases of the refinement module itself."""
+
+    def test_max_iterations_stops_early_with_coarser_partition(self):
+        graph, _ = chain_topology(6)
+        srp = build_rip_srp(graph, "r0")
+        full, full_iterations = find_abstraction_partition(srp)
+        capped, iterations = find_abstraction_partition(srp, max_iterations=1)
+        assert iterations == 1
+        assert full_iterations > 1
+        # One pass cannot finish separating a chain; the partition is a
+        # coarsening of the fixed point.
+        assert capped.num_groups() < full.num_groups()
+        assert full.num_groups() == 6
+
+    def test_compute_abstraction_forwards_max_iterations(self):
+        graph, _ = chain_topology(6)
+        srp = build_rip_srp(graph, "r0")
+        capped = compute_abstraction(srp, max_iterations=1)
+        full = compute_abstraction(srp)
+        assert capped.iterations == 1
+        assert capped.num_abstract_nodes < full.num_abstract_nodes
+
+    def test_transfer_violation_pass_is_noop_at_signature_fixed_point(self):
+        """At the signature fixed point the explicit transfer-equivalence
+        check cannot find further splits: the (policy, target) pair sets
+        determine the per-target policy sets.  The pass exists as a safety
+        net and must be a no-op on refined partitions."""
+        from repro.abstraction.refinement import _split_transfer_violations
+        from repro.abstraction.partition import UnionSplitFind
+
+        graph, _ = ring_topology(8)
+        srp = build_rip_srp(graph, "r0")
+        partition, _ = find_abstraction_partition(srp)
+        before = partition.num_groups()
+        keys = {edge: srp.policy_key(edge) for edge in graph.edges}
+        assert _split_transfer_violations(graph, keys, partition) == 0
+        assert partition.num_groups() == before
+        assert isinstance(partition, UnionSplitFind)
+
+    def test_destination_group_is_never_case_split(self, figure2_srp):
+        partition, _ = find_abstraction_partition(figure2_srp)
+        splits = split_into_bgp_cases(figure2_srp, partition)
+        destination_name = partition.canonical_names()["d"]
+        assert destination_name not in splits
+
+    def test_split_copy_names_derive_from_base(self, figure2_srp):
+        result = compute_abstraction(figure2_srp)
+        for base, copies in result.abstraction.split_groups.items():
+            assert len(copies) == result.split_counts[base]
+            assert all(copy.startswith(f"{base}_case") for copy in copies)
+            # Copies share the base group's concrete members.
+            for copy in copies:
+                assert result.abstraction.concrete_nodes(copy) == (
+                    result.abstraction.concrete_nodes(base)
+                )
+
+    def test_result_sizes_match_materialised_abstraction(self, figure2_srp):
+        result = compute_abstraction(figure2_srp)
+        assert result.num_abstract_nodes == result.abstraction.num_abstract_nodes()
+        assert result.num_abstract_edges == result.abstraction.num_abstract_edges()
+        assert result.elapsed_seconds >= 0.0
