@@ -1,0 +1,339 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: per-stage wall-clock for the compression pipeline.
+
+This benchmark times the four single-core hot paths of the system --
+SRP solving, BDD operations, abstraction refinement, and the end-to-end
+per-class pipeline (compress + differential verify) -- and writes a JSON
+report that CI regresses against (``BENCH_pr3.json``).
+
+Stages
+------
+* ``srp_solve``      -- control-plane simulation (``srp.solver.solve``)
+  over every destination equivalence class of each family network;
+* ``bdd_ops``        -- a BDD micro-workload (conjunction chains, xor
+  ladders, restrict/exists) on a dedicated manager;
+* ``refinement``     -- ``compute_abstraction`` over every class with
+  policy keys prepared outside the timed region;
+* ``compress``       -- the serial :class:`CompressionPipeline` end to end;
+* ``verify``         -- the serial :class:`BatchVerifier` end to end;
+* ``pipeline``       -- compress + verify (the acceptance metric).
+
+Every stage is run ``--repeat`` times and the *minimum* is reported, so
+scheduler noise cannot manufacture a regression.
+
+Usage
+-----
+Run the full benchmark and write the report::
+
+    python benchmarks/bench_hotpaths.py --out bench_hotpaths.json
+
+CI quick mode with the regression gate (exit 1 when any stage is more
+than 25% slower than the committed baseline's ``after`` numbers)::
+
+    python benchmarks/bench_hotpaths.py --quick \
+        --baseline BENCH_pr3.json --max-regression 0.25
+
+Correctness cross-check (also run in CI): the optimized solver and
+refinement are compared against their reference oracles on every family
+and the verify report's soundness oracle must hold::
+
+    python benchmarks/bench_hotpaths.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.abstraction.refinement import compute_abstraction
+from repro.analysis.batch import BatchVerifier
+from repro.bdd.manager import FALSE, BddManager
+from repro.config.transfer import build_srp_from_network
+from repro.netgen.families import build_topology
+from repro.pipeline.core import CompressionPipeline
+from repro.srp import solver as srp_solver
+
+#: (family, size) pairs per mode.  The fat-tree family carries the
+#: acceptance criterion (>=3x on compress+verify); the ring is the
+#: worst case for sweep-style solvers (diameter ~ n/2).
+FULL_WORKLOADS = [
+    ("fattree", 4),
+    ("fattree", 6),
+    ("fattree", 8),
+    ("ring", 16),
+    ("mesh", 8),
+    ("datacenter", 2),
+    ("wan", 2),
+]
+QUICK_WORKLOADS = [
+    ("fattree", 4),
+    ("ring", 12),
+]
+
+#: BDD micro-workload size per mode.
+FULL_BDD_VARS = 600
+QUICK_BDD_VARS = 200
+
+#: Flat grace added to every per-stage regression check.  Baselines are
+#: recorded on whatever machine cut the PR while the gate runs on CI
+#: hardware; at the quick mode's millisecond scale a purely relative
+#: threshold would flag scheduler noise as a regression.
+ABSOLUTE_SLACK_SECONDS = 0.02
+
+
+def _classes_and_srps(network):
+    from repro.abstraction.ec import routable_equivalence_classes
+
+    classes = routable_equivalence_classes(network)
+    srps = [
+        build_srp_from_network(network, ec.prefix, set(ec.origins)) for ec in classes
+    ]
+    return classes, srps
+
+
+# ----------------------------------------------------------------------
+# Stages
+# ----------------------------------------------------------------------
+def stage_srp_solve(workloads) -> float:
+    """Solve the SRP of every class of every workload network."""
+    prepared = []
+    for family, size in workloads:
+        network = build_topology(family, size)
+        _, srps = _classes_and_srps(network)
+        prepared.append(srps)
+    start = time.perf_counter()
+    for srps in prepared:
+        for srp in srps:
+            srp_solver.solve(srp)
+    return time.perf_counter() - start
+
+
+def stage_bdd_ops(num_vars: int) -> float:
+    """Conjunction chains, xor ladders and quantification on one manager."""
+    manager = BddManager(num_vars)
+    start = time.perf_counter()
+    # Deep conjunction / disjunction chains (the ACL/route-map shape).
+    conj = manager.conjoin(manager.var(i) for i in range(num_vars))
+    disj = manager.disjoin(manager.nvar(i) for i in range(num_vars))
+    # A xor ladder (worst case for node growth).
+    ladder = FALSE
+    for i in range(0, num_vars, 3):
+        ladder = manager.apply_xor(ladder, manager.var(i))
+    # ite mixing the three.
+    mixed = manager.ite(ladder, conj, disj)
+    # Restrict / quantify over a quarter of the support.
+    quarter = list(range(0, num_vars, 4))
+    manager.restrict(mixed, {v: bool(v % 2) for v in quarter})
+    manager.exists(ladder, quarter[: min(12, len(quarter))])
+    assert manager.evaluate(conj, {i: True for i in range(num_vars)})
+    return time.perf_counter() - start
+
+
+def stage_refinement(workloads) -> float:
+    """Abstraction refinement with inputs prepared outside the timer."""
+    prepared = []
+    for family, size in workloads:
+        network = build_topology(family, size)
+        _, srps = _classes_and_srps(network)
+        prepared.append(srps)
+    start = time.perf_counter()
+    for srps in prepared:
+        for srp in srps:
+            compute_abstraction(srp)
+    return time.perf_counter() - start
+
+
+def stage_compress(workloads) -> float:
+    networks = [build_topology(family, size) for family, size in workloads]
+    start = time.perf_counter()
+    for network in networks:
+        CompressionPipeline(network, executor="serial").run()
+    return time.perf_counter() - start
+
+
+def stage_verify(workloads) -> float:
+    networks = [build_topology(family, size) for family, size in workloads]
+    start = time.perf_counter()
+    for network in networks:
+        BatchVerifier(network, executor="serial").run()
+    return time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Correctness cross-checks (reference oracles)
+# ----------------------------------------------------------------------
+def run_checks(workloads) -> List[str]:
+    """Compare the optimized hot paths against their reference oracles.
+
+    Returns a list of human-readable failures (empty = all good).
+    """
+    from repro.abstraction import refinement as refinement_mod
+
+    failures: List[str] = []
+    solve_sweep = getattr(srp_solver, "solve_sweep", None)
+    partition_reference = getattr(
+        refinement_mod, "find_abstraction_partition_reference", None
+    )
+    for family, size in workloads:
+        network = build_topology(family, size)
+        classes, srps = _classes_and_srps(network)
+        for ec, srp in zip(classes, srps):
+            fast = srp_solver.solve(srp)
+            if solve_sweep is not None:
+                reference = solve_sweep(srp)
+                if fast.labeling != reference.labeling:
+                    failures.append(
+                        f"{family}({size}) {ec.prefix}: worklist labeling "
+                        "diverges from sweep oracle"
+                    )
+            if partition_reference is not None:
+                new_partition, _ = refinement_mod.find_abstraction_partition(srp)
+                ref_partition, _ = partition_reference(srp)
+                if set(new_partition.partitions()) != set(ref_partition.partitions()):
+                    failures.append(
+                        f"{family}({size}) {ec.prefix}: dirty-group partition "
+                        "diverges from full-rescan oracle"
+                    )
+        report = BatchVerifier(network, executor="serial").run()
+        if not report.verdicts_agree():
+            failures.append(
+                f"{family}({size}): abstract and concrete verdicts diverge: "
+                f"{report.mismatches()}"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+STAGES = ("srp_solve", "bdd_ops", "refinement", "compress", "verify", "pipeline")
+
+
+def run_benchmark(quick: bool, repeat: int) -> Dict[str, float]:
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    bdd_vars = QUICK_BDD_VARS if quick else FULL_BDD_VARS
+    fattree_only = [(f, s) for f, s in workloads if f == "fattree"]
+
+    def best(fn, *args) -> float:
+        return min(fn(*args) for _ in range(repeat))
+
+    stages = {
+        "srp_solve": best(stage_srp_solve, workloads),
+        "bdd_ops": best(stage_bdd_ops, bdd_vars),
+        "refinement": best(stage_refinement, workloads),
+        "compress": best(stage_compress, workloads),
+        "verify": best(stage_verify, workloads),
+    }
+    stages["pipeline"] = stages["compress"] + stages["verify"]
+    # The acceptance metric: compress+verify restricted to the fat-tree
+    # family, measured in one timed arm so the number is directly
+    # comparable before/after.
+    stages["pipeline_fattree"] = best(stage_compress, fattree_only) + best(
+        stage_verify, fattree_only
+    )
+    return stages
+
+
+def compare_to_baseline(
+    stages: Dict[str, float], baseline: Dict, max_regression: float, mode: str
+) -> List[str]:
+    """Regressions of the current run vs the baseline's ``after`` stages.
+
+    The baseline's ``after`` section may be flat (``{stage: seconds}``) or
+    keyed by mode (``{"full": {...}, "quick": {...}}``); quick CI runs are
+    compared against quick baselines so the gate actually bites.
+    """
+    reference: Optional[Dict] = baseline.get("after") or baseline.get("stages")
+    if isinstance(reference, dict) and mode in reference:
+        reference = reference[mode]
+    if not reference:
+        return [f"baseline file has no 'after' (or 'stages') section for {mode!r}"]
+    problems = []
+    for name, ref_seconds in reference.items():
+        now = stages.get(name)
+        if now is None or ref_seconds <= 0:
+            continue
+        # Absolute slack on top of the relative limit: quick-mode stages
+        # are tens of milliseconds, and baselines are recorded on a
+        # different machine than CI runs on -- without a floor, scheduler
+        # noise alone would trip the gate on an unchanged tree.
+        if now <= ref_seconds * (1.0 + max_regression) + ABSOLUTE_SLACK_SECONDS:
+            continue
+        problems.append(
+            f"stage {name}: {now:.3f}s vs baseline {ref_seconds:.3f}s "
+            f"({now / ref_seconds:.2f}x, limit {1.0 + max_regression:.2f}x "
+            f"+ {ABSOLUTE_SLACK_SECONDS:.2f}s slack)"
+        )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small CI workloads")
+    parser.add_argument("--repeat", type=int, default=3, help="repeats per stage (min is kept)")
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--baseline", default=None, help="compare against this BENCH_*.json file"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per stage vs the baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also cross-check optimized paths against the reference oracles",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+
+    mode = "quick" if args.quick else "full"
+    print(f"hot-path benchmark ({mode}, repeat={args.repeat})")
+    stages = run_benchmark(args.quick, args.repeat)
+    for name in sorted(stages):
+        print(f"  {name:18s} {stages[name]:8.3f}s")
+
+    status = 0
+    if args.check:
+        workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
+        failures = run_checks(workloads)
+        if failures:
+            status = 1
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        else:
+            print("  oracle cross-checks: ok")
+
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        problems = compare_to_baseline(stages, baseline, args.max_regression, mode)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+        else:
+            print(f"  no stage regressed >{args.max_regression:.0%} vs {args.baseline}")
+
+    if args.out:
+        report = {
+            "benchmark": "hotpaths",
+            "mode": mode,
+            "repeat": args.repeat,
+            "stages": stages,
+        }
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  report written to {args.out}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

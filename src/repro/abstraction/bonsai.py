@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
 from repro.abstraction.mapping import NetworkAbstraction
@@ -27,7 +27,13 @@ from repro.bdd.policy import PolicyBddEncoder
 from repro.config.device import BgpNeighborConfig, DeviceConfig, OspfLinkConfig, StaticRouteConfig
 from repro.config.network import Network
 from repro.config.prefix import Prefix
-from repro.config.transfer import VIRTUAL_DESTINATION, build_srp_from_network, compile_edges, syntactic_policy_keys
+from repro.config.transfer import (
+    VIRTUAL_DESTINATION,
+    build_srp_from_network,
+    compile_base_edges,
+    specialize_compiled_edges,
+    syntactic_policy_keys,
+)
 from repro.srp.instance import SRP
 from repro.topology.graph import Edge, Graph
 
@@ -119,6 +125,19 @@ class CompressionSummary:
 class Bonsai:
     """Compress a configured network, one destination class at a time.
 
+    ``REFINEMENT_CACHE_LIMIT`` bounds the cross-class refinement cache
+    (cleared wholesale on overflow, like the BDD manager's ``ite`` memo):
+    pipeline workers keep one ``Bonsai`` alive for thousands of classes,
+    and each retained ``RefinementResult`` holds full node maps.
+
+    A ``Bonsai`` assumes the network configuration does not change while
+    it is alive: the policy-BDD encoder collects its variable universe at
+    construction, and the compiled-edge / refinement caches added for the
+    hot-path overhaul are keyed accordingly.  After mutating device
+    configurations, build a fresh ``Bonsai`` (the ``Network``-level memos
+    -- equivalence classes, local-pref sets -- are fingerprint-guarded
+    and safe under mutation).
+
     Parameters
     ----------
     network:
@@ -135,6 +154,9 @@ class Bonsai:
         one-time encoding cost is not paid per worker.
     """
 
+    #: Maximum retained cross-class RefinementResults (clear-on-overflow).
+    REFINEMENT_CACHE_LIMIT = 1024
+
     def __init__(
         self,
         network: Network,
@@ -147,6 +169,21 @@ class Bonsai:
         self.bdd_seconds = 0.0
         #: The aggregated report of the most recent :meth:`compress_all`.
         self.last_report = None
+        #: Cross-class abstraction reuse: destination classes whose
+        #: specialized policy keys, origins and local-preference sets all
+        #: coincide induce the *same* refinement problem, so they share one
+        #: :class:`~repro.abstraction.refinement.RefinementResult` instead
+        #: of recomputing it per class (common for netgen families where
+        #: many prefixes specialize identically).
+        self._refinement_cache: Dict[Hashable, RefinementResult] = {}
+        self._refinement_hits = 0
+        self._refinement_misses = 0
+        #: Single-entry memo of the last compiled edge map: several stages
+        #: of a per-class task (concrete simulation, compression) compile
+        #: the same destination back to back.  The destination-independent
+        #: base compilation is built once and specialized per class.
+        self._compile_memo: Optional[Tuple[Prefix, Dict]] = None
+        self._base_compiled: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Pipeline stages
@@ -165,9 +202,27 @@ class Bonsai:
         """All routable destination equivalence classes of the network."""
         return routable_equivalence_classes(self.network)
 
+    def compile_for(self, prefix: Prefix) -> Dict[Edge, "CompiledEdge"]:
+        """Compile the network's edges for ``prefix`` (single-entry memo).
+
+        The per-class verify task simulates the concrete network and then
+        compresses the very same destination; sharing the compiled edges
+        halves the per-class compilation work.  The memo assumes the
+        network configuration does not change under a live ``Bonsai``
+        (the policy-BDD encoder already requires that).
+        """
+        cached = self._compile_memo
+        if cached is not None and cached[0] == prefix:
+            return cached[1]
+        if self._base_compiled is None:
+            self._base_compiled = compile_base_edges(self.network)
+        compiled = specialize_compiled_edges(self.network, prefix, self._base_compiled)
+        self._compile_memo = (prefix, compiled)
+        return compiled
+
     def policy_keys(self, prefix: Prefix) -> Dict[Edge, Hashable]:
         """Per-edge policy keys specialized to one destination."""
-        compiled = compile_edges(self.network, prefix)
+        compiled = self.compile_for(prefix)
         if self.use_bdds:
             return self.encoder.specialized_policy_keys(prefix, compiled)
         return dict(syntactic_policy_keys(self.network, prefix, compiled))
@@ -182,15 +237,26 @@ class Bonsai:
     ) -> CompressionResult:
         """Compress the network for one destination equivalence class."""
         start = time.perf_counter()
+        prefix = equivalence_class.prefix
+        # Compile the edges once and share the result between the SRP
+        # build and the policy-key specialization (each used to recompile).
+        compiled = self.compile_for(prefix)
         srp = build_srp_from_network(
-            self.network, equivalence_class.prefix, set(equivalence_class.origins)
+            self.network,
+            prefix,
+            set(equivalence_class.origins),
+            compiled=compiled,
+            # Refinement runs on the explicit (BDD or syntactic) keys built
+            # below; the SRP's own syntactic keys would only be recomputed
+            # to be ignored.  Virtual-destination edges keep their key.
+            include_syntactic_keys=False,
         )
-        keys = self.policy_keys(equivalence_class.prefix)
+        keys = self.policy_keys(prefix)
         # Edges to the virtual destination (if any) need a key too.
         for edge in srp.graph.edges:
             if edge not in keys:
                 keys[edge] = srp.policy_key(edge)
-        refinement = compute_abstraction(srp, policy_keys=keys)
+        refinement = self._refine_cached(srp, keys, equivalence_class)
         abstract_network = (
             self.build_abstract_network(refinement.abstraction, equivalence_class)
             if build_network
@@ -204,6 +270,53 @@ class Bonsai:
             abstract_network=abstract_network,
             compression_seconds=elapsed,
         )
+
+    def _refine_cached(
+        self,
+        srp: SRP,
+        keys: Dict[Edge, Hashable],
+        equivalence_class: EquivalenceClass,
+    ) -> RefinementResult:
+        """Run abstraction refinement, deduped across equivalence classes.
+
+        The refinement outcome is a pure function of (graph, per-edge
+        policy keys, per-node local-preference sets); the graph is the
+        network graph plus a virtual destination determined by the origin
+        set.  Classes with equal signatures therefore share one
+        ``RefinementResult`` (BDD keys are canonical within this Bonsai's
+        encoder, so equal signatures really mean equal refinement inputs).
+        """
+        try:
+            signature: Optional[Hashable] = (
+                frozenset(keys.items()),
+                equivalence_class.origins,
+                tuple(sorted(srp.node_prefs.items())),
+            )
+        except TypeError:
+            signature = None  # unhashable custom keys: skip the cache
+        if signature is not None:
+            cached = self._refinement_cache.get(signature)
+            if cached is not None:
+                self._refinement_hits += 1
+                return cached
+            self._refinement_misses += 1
+        refinement = compute_abstraction(srp, policy_keys=keys)
+        if signature is not None:
+            # Clear-on-overflow (the BddManager cache_limit precedent):
+            # the cache is an optimisation only, and a worker Bonsai can
+            # live for thousands of classes.
+            if len(self._refinement_cache) >= self.REFINEMENT_CACHE_LIMIT:
+                self._refinement_cache.clear()
+            self._refinement_cache[signature] = refinement
+        return refinement
+
+    def abstraction_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the cross-class refinement cache."""
+        return {
+            "hits": self._refinement_hits,
+            "misses": self._refinement_misses,
+            "size": len(self._refinement_cache),
+        }
 
     def compress_prefix(self, prefix: Prefix, build_network: bool = True) -> CompressionResult:
         """Compress for an explicit destination prefix."""

@@ -60,6 +60,24 @@ class NetworkAbstraction:
         abstract = Graph()
         split_groups = dict(split_groups or {})
 
+        if not split_groups:
+            # Fast path (no BGP case splitting): one copy per base name.
+            # Must stay behaviourally in sync with the general path below
+            # (which it equals when copies() degenerates to one-tuples).
+            for node in concrete_graph.nodes:
+                abstract.add_node(node_map[node])
+            for u, v in concrete_graph.edges:
+                cu = node_map[u]
+                cv = node_map[v]
+                if cu != cv:
+                    abstract.add_edge(cu, cv)
+            return cls(
+                node_map=dict(node_map),
+                abstract_graph=abstract,
+                protocol=protocol,
+                split_groups=split_groups,
+            )
+
         def copies(base: str) -> Tuple[str, ...]:
             return split_groups.get(base, (base,))
 

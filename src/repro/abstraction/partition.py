@@ -55,6 +55,16 @@ class UnionSplitFind:
         except KeyError as exc:
             raise PartitionError(f"unknown node {node!r}") from exc
 
+    @property
+    def group_of(self) -> Dict[Node, int]:
+        """The live node -> group-id mapping.
+
+        Exposed for hot loops (the refinement worklist) that cannot afford
+        a method call per lookup; callers must treat it as read-only.
+        """
+        return self._group_of
+
+
     def members(self, group: int) -> FrozenSet[Node]:
         """The nodes in ``group``."""
         if group not in self._members:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.abstraction.mapping import NetworkAbstraction
 from repro.abstraction.partition import UnionSplitFind
@@ -106,7 +106,107 @@ def find_abstraction_partition(
 ) -> Tuple[UnionSplitFind, int]:
     """Compute the pre-split partition (Algorithm 1 up to the fixed point).
 
-    Returns the partition and the number of refinement passes performed.
+    This is the dirty-group *worklist* form: a group is only re-examined
+    when a node adjacent to one of its members moved to a different group
+    (the split keeps the largest part in place, so the moved nodes are the
+    smaller halves).  The refinement fixed point -- the coarsest partition
+    stable under the signature function -- is independent of the
+    examination order, so the resulting partition is identical to the
+    full-rescan reference (:func:`find_abstraction_partition_reference`),
+    which is kept as the equivalence-test oracle.
+
+    Returns the partition and the number of worklist passes performed.
+    """
+    graph = srp.graph
+    keys = policy_keys if policy_keys is not None else {
+        edge: srp.policy_key(edge) for edge in graph.edges
+    }
+
+    partition = UnionSplitFind(graph.nodes)
+    partition.split({srp.destination})
+    group_of = partition.group_of
+
+    # Static per-node inputs, materialised once: the (direction, policy,
+    # neighbour) summary of every incident edge, the neighbours whose
+    # group movement dirties the node's group, and the local-preference
+    # value set (whose union decides the ∀∀ vs ∀∃ condition per group).
+    default_key = ("default",)
+    edge_summary: Dict[Node, Tuple] = {}
+    neighbours_of: Dict[Node, Tuple] = {}
+    pref_sets: Dict[Node, FrozenSet[int]] = {}
+    for node in graph.nodes:
+        summary = []
+        for edge in graph.out_edges(node):
+            summary.append(("out", keys.get(edge, default_key), edge[1]))
+        # Also summarise the node's incoming edges.  The policy key of an
+        # edge (w, u) contains u's *export* policy towards w, so without
+        # this, two nodes whose own export policies differ could be merged
+        # and violate transfer-equivalence.
+        for edge in graph.in_edges(node):
+            summary.append(("in", keys.get(edge, default_key), edge[0]))
+        edge_summary[node] = tuple(summary)
+        neighbours_of[node] = tuple({nb for _, _, nb in summary})
+        pref_sets[node] = frozenset(srp.prefs(node))
+
+    def refine(group: int) -> list:
+        """Split ``group`` by member signature; returns the moved nodes."""
+        members = partition.members(group)
+        if len(members) <= 1:
+            return []
+        group_prefs = frozenset().union(*(pref_sets[node] for node in members))
+        use_concrete = len(group_prefs) > 1
+        signature: Dict[Node, Hashable] = {}
+        if use_concrete:
+            for node in members:
+                signature[node] = frozenset(edge_summary[node])
+        else:
+            for node in members:
+                signature[node] = frozenset(
+                    (direction, policy, group_of[nb])
+                    for direction, policy, nb in edge_summary[node]
+                )
+        new_groups = partition.split_by_key(group, signature)
+        moved: list = []
+        for new_group in new_groups[1:]:
+            moved.extend(partition.members(new_group))
+        return moved
+
+    dirty = sorted(partition.groups())
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        moved_nodes: list = []
+        for group in dirty:
+            moved_nodes.extend(refine(group))
+        if not moved_nodes:
+            # Fixed point of the signature-based refinement.  Verify
+            # transfer-equivalence explicitly and split any group whose
+            # members still disagree on the policy towards some abstract
+            # neighbour (possible with parallel edges of mixed policy);
+            # continue refining if that created new groups.
+            moved_nodes = _split_transfer_violations(
+                graph, keys, partition, edge_summary
+            )
+            if not moved_nodes:
+                break
+        next_dirty = set()
+        for node in moved_nodes:
+            for neighbour in neighbours_of[node]:
+                next_dirty.add(group_of[neighbour])
+        dirty = sorted(next_dirty)
+    return partition, iterations
+
+
+def find_abstraction_partition_reference(
+    srp: SRP,
+    policy_keys: Optional[Dict[Edge, Hashable]] = None,
+    max_iterations: int = 10_000,
+) -> Tuple[UnionSplitFind, int]:
+    """The original full-rescan refinement loop (reference oracle).
+
+    Re-examines *every* group on every pass.  Kept (unoptimised) so
+    equivalence tests and the hot-path benchmark can check that the
+    worklist form computes the identical partition.
     """
     graph = srp.graph
     keys = policy_keys if policy_keys is not None else {
@@ -133,22 +233,27 @@ def find_abstraction_partition(
                 use_concrete_neighbours=len(prefs) > 1,
             )
         if partition.num_groups() == before:
-            # Fixed point of the signature-based refinement.  Verify
-            # transfer-equivalence explicitly and split any group whose
-            # members still disagree on the policy towards some abstract
-            # neighbour (possible with parallel edges of mixed policy);
-            # continue refining if that created new groups.
             if not _split_transfer_violations(graph, keys, partition):
                 break
     return partition, iterations
 
 
 def _split_transfer_violations(
-    graph: Graph, policy_keys: Dict[Edge, Hashable], partition: UnionSplitFind
-) -> int:
+    graph: Graph,
+    policy_keys: Dict[Edge, Hashable],
+    partition: UnionSplitFind,
+    edge_summary: Optional[Dict[Node, Tuple]] = None,
+) -> List[Node]:
     """Split groups whose members apply different policies towards the same
-    abstract neighbour group.  Returns the number of new groups created."""
-    created = 0
+    abstract neighbour group.  Returns the nodes moved to new groups.
+
+    ``edge_summary`` optionally reuses the worklist's precomputed
+    per-node ``(direction, policy, neighbour)`` tuples instead of walking
+    the graph's edge lists again.
+    """
+    group_of = partition.group_of
+    default_key = ("default",)
+    moved: List[Node] = []
     for group in list(partition.groups()):
         members = partition.members(group)
         if len(members) <= 1:
@@ -156,16 +261,22 @@ def _split_transfer_violations(
         signature: Dict[Node, Hashable] = {}
         for node in members:
             per_target: Dict[int, set] = {}
-            for edge in graph.out_edges(node):
-                _, neighbour = edge
-                per_target.setdefault(partition.find(neighbour), set()).add(
-                    policy_keys.get(edge, ("default",))
-                )
+            if edge_summary is None:
+                for edge in graph.out_edges(node):
+                    _, neighbour = edge
+                    per_target.setdefault(group_of[neighbour], set()).add(
+                        policy_keys.get(edge, default_key)
+                    )
+            else:
+                for direction, policy, neighbour in edge_summary[node]:
+                    if direction == "out":
+                        per_target.setdefault(group_of[neighbour], set()).add(policy)
             signature[node] = frozenset(
                 (target, frozenset(keys)) for target, keys in per_target.items()
             )
-        created += len(partition.split_by_key(group, signature)) - 1
-    return created
+        for new_group in partition.split_by_key(group, signature)[1:]:
+            moved.extend(partition.members(new_group))
+    return moved
 
 
 def split_into_bgp_cases(

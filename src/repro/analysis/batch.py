@@ -460,7 +460,11 @@ def verify_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict
 
     # -- concrete side ---------------------------------------------------
     concrete_start = time.perf_counter()
-    concrete_table = compute_forwarding_table(network, equivalence_class)
+    concrete_table = compute_forwarding_table(
+        network,
+        equivalence_class,
+        compiled=bonsai.compile_for(equivalence_class.prefix),
+    )
     concrete_context = PropertyContext(
         table=concrete_table, waypoints=waypoints, path_bound=path_bound
     )

@@ -45,6 +45,9 @@ class ForwardingTable:
     _paths_cache: Dict[Tuple[Node, int], List[List[Node]]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    _sorted_hops_cache: Dict[Node, List[Node]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
     #: Sources whose :meth:`all_paths` enumeration hit the ``max_paths``
     #: cap: their path sets are incomplete, and path-quantified property
     #: verdicts on them are not exhaustive.  The batch verifier checks
@@ -57,7 +60,18 @@ class ForwardingTable:
         """Drop memoised walks (call after mutating ``next_hops``)."""
         self._outcome_cache.clear()
         self._paths_cache.clear()
+        self._sorted_hops_cache.clear()
         self.truncated_sources.clear()
+
+    def _sorted_hops(self, node: Node) -> List[Node]:
+        """``forwards_to(node)`` sorted by name, memoised (walk-heavy
+        property evaluation re-sorts the same nodes constantly)."""
+        hops = self._sorted_hops_cache.get(node)
+        if hops is None:
+            hops = self._sorted_hops_cache[node] = sorted(
+                self.next_hops.get(node, ()), key=str
+            )
+        return hops
 
     def forwards_to(self, node: Node) -> Set[Node]:
         return self.next_hops.get(node, set())
@@ -92,7 +106,7 @@ class ForwardingTable:
         for _ in range(max_hops):
             if self.delivers(node):
                 return "delivered", path
-            hops = sorted(self.forwards_to(node), key=str)
+            hops = self._sorted_hops(node)
             if not hops:
                 return "blackhole", path
             node = hops[0]
@@ -104,12 +118,20 @@ class ForwardingTable:
 
     def all_paths(self, source: Node, max_paths: int = 1000) -> List[List[Node]]:
         """Every forwarding path (under multipath) from ``source``."""
+        return [list(path) for path in self.paths_view(source, max_paths)]
+
+    def paths_view(self, source: Node, max_paths: int = 1000) -> List[List[Node]]:
+        """Like :meth:`all_paths` but without the defensive copy.
+
+        The returned lists are the cached walk results; callers (the
+        property checks, which only read) must not mutate them.
+        """
         key = (source, max_paths)
         cached = self._paths_cache.get(key)
         if cached is None:
             cached = self._walk_all_paths(source, max_paths)
             self._paths_cache[key] = cached
-        return [list(path) for path in cached]
+        return cached
 
     def _walk_all_paths(self, source: Node, max_paths: int) -> List[List[Node]]:
         results: List[List[Node]] = []
@@ -123,7 +145,7 @@ class ForwardingTable:
             if self.delivers(node):
                 results.append(path)
                 return
-            hops = sorted(self.forwards_to(node), key=str)
+            hops = self._sorted_hops(node)
             if not hops:
                 results.append(path)
                 return
@@ -196,11 +218,25 @@ def forwarding_table_from_solution(
 
 
 def compute_forwarding_table(
-    network: Network, equivalence_class: EquivalenceClass
+    network: Network,
+    equivalence_class: EquivalenceClass,
+    compiled: Optional[Dict] = None,
 ) -> ForwardingTable:
-    """Simulate the control plane for one class and extract forwarding."""
+    """Simulate the control plane for one class and extract forwarding.
+
+    ``compiled`` optionally reuses an existing :func:`compile_edges` result
+    for this class's prefix (the batch verifier shares one compilation
+    between the concrete simulation and the subsequent compression).
+    """
     srp = build_srp_from_network(
-        network, equivalence_class.prefix, set(equivalence_class.origins)
+        network,
+        equivalence_class.prefix,
+        set(equivalence_class.origins),
+        compiled=compiled,
+        # The SRP is solved and discarded; nothing reads the specialized
+        # syntactic policy keys, and skipping them saves a full pass of
+        # route-map specialization per class.
+        include_syntactic_keys=False,
     )
     solution = solve(srp)
     return forwarding_table_from_solution(network, solution, equivalence_class)

@@ -103,7 +103,7 @@ def check_reachability(table: ForwardingTable, source: Node) -> PropertyResult:
 
 def check_all_paths_reach(table: ForwardingTable, source: Node) -> PropertyResult:
     """Do *all* multipath forwarding paths from ``source`` deliver traffic?"""
-    paths = table.all_paths(source)
+    paths = table.paths_view(source)
     for path in paths:
         last = path[-1]
         if not table.delivers(last):
@@ -125,7 +125,7 @@ def check_path_length(
     table: ForwardingTable, source: Node, expected_length: int
 ) -> PropertyResult:
     """Do all forwarding paths from ``source`` have the expected hop count?"""
-    paths = table.all_paths(source)
+    paths = table.paths_view(source)
     for path in paths:
         if not table.delivers(path[-1]):
             continue
@@ -148,7 +148,7 @@ def check_bounded_path_length(
     table: ForwardingTable, source: Node, bound: int
 ) -> PropertyResult:
     """Do all delivered paths from ``source`` have at most ``bound`` hops?"""
-    for path in table.all_paths(source):
+    for path in table.paths_view(source):
         if not table.delivers(path[-1]):
             continue
         if len(path) - 1 > bound:
@@ -170,14 +170,14 @@ def path_lengths(table: ForwardingTable, source: Node) -> Set[int]:
     """The set of delivered-path lengths from ``source``."""
     return {
         len(path) - 1
-        for path in table.all_paths(source)
+        for path in table.paths_view(source)
         if table.delivers(path[-1])
     }
 
 
 def check_black_hole(table: ForwardingTable, source: Node) -> PropertyResult:
     """Is there a forwarding path from ``source`` that ends in a drop?"""
-    for path in table.all_paths(source):
+    for path in table.paths_view(source):
         last = path[-1]
         if not table.delivers(last) and len(set(path)) == len(path):
             return PropertyResult(
@@ -203,7 +203,7 @@ def check_multipath_consistency(table: ForwardingTable, source: Node) -> Propert
     is consistent.  On failure the counterexample carries the offending
     source node and the dropped path, with a delivered path in the detail.
     """
-    paths = table.all_paths(source)
+    paths = table.paths_view(source)
     outcomes = set()
     for path in paths:
         outcomes.add(table.delivers(path[-1]))
@@ -232,7 +232,7 @@ def check_waypointing(
 ) -> PropertyResult:
     """Does every delivered path from ``source`` traverse one of ``waypoints``?"""
     waypoint_set = set(waypoints)
-    for path in table.all_paths(source):
+    for path in table.paths_view(source):
         if not table.delivers(path[-1]):
             continue
         if not waypoint_set & set(path):

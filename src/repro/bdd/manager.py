@@ -141,31 +141,108 @@ class BddManager:
     # Core operation: if-then-else
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
-        """If-then-else: ``(f AND g) OR (NOT f AND h)``."""
-        if f == TRUE:
-            return g
-        if f == FALSE:
-            return h
-        if g == h:
-            return g
-        if g == TRUE and h == FALSE:
-            return f
-        key = (f, g, h)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            return cached
+        """If-then-else: ``(f AND g) OR (NOT f AND h)``.
 
-        top = min(self._var[f], self._var[g], self._var[h])
-        f0, f1 = self._cofactor_at(f, top)
-        g0, g1 = self._cofactor_at(g, top)
-        h0, h1 = self._cofactor_at(h, top)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
-        result = self._make_node(top, low, high)
-        if self.cache_limit is not None and len(self._ite_cache) >= self.cache_limit:
-            self._ite_cache.clear()
-        self._ite_cache[key] = result
-        return result
+        Implemented with an explicit stack (no Python recursion): policy
+        BDDs for long ACL / route-map chains can be thousands of variables
+        deep, which the old bounded-depth recursive form could not handle
+        (``RecursionError``), and the per-call bytecode overhead of the
+        stack machine is lower.  Standard-triple normalisation (``ite(f,
+        f, h) == ite(f, TRUE, h)``, ``ite(f, g, f) == ite(f, g, FALSE)``)
+        plus the usual terminal shortcuts are applied to every subproblem
+        before the memo-cache lookup, improving hit rates.
+        """
+        var = self._var
+        low_arr = self._low
+        high_arr = self._high
+        unique = self._unique
+        cache = self._ite_cache
+        cache_limit = self.cache_limit
+
+        #: Work stack of flat (phase, a, b, c) frames and a value stack of
+        #: node ids.  An EXPAND frame carries a triple to solve (pushing
+        #: its children); a COMBINE frame carries the top variable and the
+        #: memo key, pops the two child results, builds the node and
+        #: memoises it.
+        EXPAND, COMBINE = 0, 1
+        tasks = [(EXPAND, f, g, h)]
+        values: List[int] = []
+        push_task = tasks.append
+        push_value = values.append
+        pop_value = values.pop
+
+        while tasks:
+            phase, f, g, h = tasks.pop()
+            if phase == COMBINE:
+                # f is the top variable, g the memo key; h is unused.
+                high = pop_value()
+                low = pop_value()
+                # _make_node, inlined.
+                if low == high:
+                    result = low
+                else:
+                    node_key = (f, low, high)
+                    result = unique.get(node_key)
+                    if result is None:
+                        result = len(var)
+                        var.append(f)
+                        low_arr.append(low)
+                        high_arr.append(high)
+                        unique[node_key] = result
+                if cache_limit is not None and len(cache) >= cache_limit:
+                    cache.clear()
+                cache[g] = result
+                push_value(result)
+                continue
+
+            # Terminal shortcuts and standard-triple normalisation.
+            if f == TRUE:
+                push_value(g)
+                continue
+            if f == FALSE:
+                push_value(h)
+                continue
+            if g == f:
+                g = TRUE
+            if h == f:
+                h = FALSE
+            if g == h:
+                push_value(g)
+                continue
+            if g == TRUE and h == FALSE:
+                push_value(f)
+                continue
+            key = (f, g, h)
+            cached = cache.get(key)
+            if cached is not None:
+                push_value(cached)
+                continue
+
+            fv, gv, hv = var[f], var[g], var[h]
+            top = fv if fv < gv else gv
+            if hv < top:
+                top = hv
+            if fv == top:
+                f0, f1 = low_arr[f], high_arr[f]
+            else:
+                f0 = f1 = f
+            if gv == top:
+                g0, g1 = low_arr[g], high_arr[g]
+            else:
+                g0 = g1 = g
+            if hv == top:
+                h0, h1 = low_arr[h], high_arr[h]
+            else:
+                h0 = h1 = h
+            # Children are pushed high-then-low so the low subproblem is
+            # solved first (the recursive evaluation order), keeping node
+            # allocation order -- and therefore node ids -- identical to
+            # the recursive implementation.
+            push_task((COMBINE, top, key, 0))
+            push_task((EXPAND, f1, g1, h1))
+            push_task((EXPAND, f0, g0, h0))
+
+        return values[-1]
 
     def _cofactor_at(self, node: int, var: int) -> Tuple[int, int]:
         if node in (FALSE, TRUE) or self._var[node] != var:
@@ -218,25 +295,51 @@ class BddManager:
         """Cofactor ``node`` with respect to a partial variable assignment.
 
         This is the *specialize* operation of Algorithm 1: plugging the
-        destination's prefix bits into every policy BDD.
+        destination's prefix bits into every policy BDD.  Iterative
+        (explicit stack), so arbitrarily deep policy chains cannot
+        overflow Python's recursion limit.
         """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
         cache: Dict[int, int] = {}
 
-        def walk(n: int) -> int:
-            if n in (FALSE, TRUE):
-                return n
-            if n in cache:
-                return cache[n]
-            var = self._var[n]
-            low, high = self._low[n], self._high[n]
-            if var in assignment:
-                result = walk(high if assignment[var] else low)
-            else:
-                result = self._make_node(var, walk(low), walk(high))
-            cache[n] = result
-            return result
+        EXPAND, COMBINE, MEMO = 0, 1, 2
+        tasks = [(EXPAND, node)]
+        values: List[int] = []
 
-        return walk(node)
+        while tasks:
+            phase, n = tasks.pop()
+            if phase == EXPAND:
+                if n == FALSE or n == TRUE:
+                    values.append(n)
+                    continue
+                cached = cache.get(n)
+                if cached is not None:
+                    values.append(cached)
+                    continue
+                var = var_arr[n]
+                if var in assignment:
+                    # Follow the assigned branch; MEMO records the result
+                    # against ``n`` once the branch is solved.
+                    tasks.append((MEMO, n))
+                    tasks.append(
+                        (EXPAND, high_arr[n] if assignment[var] else low_arr[n])
+                    )
+                else:
+                    tasks.append((COMBINE, n))
+                    tasks.append((EXPAND, high_arr[n]))
+                    tasks.append((EXPAND, low_arr[n]))
+            elif phase == COMBINE:
+                high = values.pop()
+                low = values.pop()
+                result = self._make_node(var_arr[n], low, high)
+                cache[n] = result
+                values.append(result)
+            else:  # MEMO
+                cache[n] = values[-1]
+
+        return values[-1]
 
     def exists(self, node: int, variables: Iterable[int]) -> int:
         """Existentially quantify ``variables`` out of ``node``."""
@@ -285,26 +388,51 @@ class BddManager:
         return n == TRUE
 
     def sat_count(self, node: int, num_vars: Optional[int] = None) -> int:
-        """Number of satisfying assignments over ``num_vars`` variables."""
+        """Number of satisfying assignments over ``num_vars`` variables.
+
+        Iterative: the per-node base counts are computed bottom-up over a
+        postorder traversal, so deep BDDs cannot overflow the recursion
+        limit.
+        """
         total_vars = num_vars if num_vars is not None else self.num_vars
-        cache: Dict[int, int] = {}
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 2**total_vars
 
-        def count(n: int, level: int) -> int:
-            if n == FALSE:
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        #: base[n] = assignments over variables strictly below var(n).
+        base: Dict[int, int] = {}
+
+        def child_count(child: int, level: int) -> int:
+            if child == FALSE:
                 return 0
-            if n == TRUE:
+            if child == TRUE:
                 return 2 ** (total_vars - level)
-            key = n
-            if key in cache:
-                base = cache[key]
-            else:
-                var = self._var[n]
-                base = count(self._low[n], var + 1) + count(self._high[n], var + 1)
-                cache[key] = base
-            var = self._var[n]
-            return base * (2 ** (var - level))
+            return base[child] * (2 ** (var_arr[child] - level))
 
-        return count(node, 0)
+        stack = [node]
+        while stack:
+            n = stack[-1]
+            if n in base:
+                stack.pop()
+                continue
+            low, high = low_arr[n], high_arr[n]
+            pending = [
+                child
+                for child in (low, high)
+                if child not in (FALSE, TRUE) and child not in base
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            level = var_arr[n] + 1
+            base[n] = child_count(low, level) + child_count(high, level)
+
+        return base[node] * (2 ** var_arr[node])
 
     def satisfying_assignments(self, node: int) -> Iterator[Dict[int, bool]]:
         """Iterate over partial satisfying assignments (one per BDD path)."""

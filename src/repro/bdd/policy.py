@@ -121,6 +121,15 @@ class PolicyBddEncoder:
         self._no_bgp_var = self.manager.add_var("no-bgp-session")
 
         self._edge_cache: Dict[Hashable, int] = {}
+        #: Edge -> BDD shortcut.  The encoded BDD depends only on the
+        #: destination-invariant parts of a compiled edge (BGP session,
+        #: route maps, interface ACL *names*), so once an edge is encoded
+        #: the semantic-key construction (which sorts the referenced
+        #: community/prefix lists on every call) can be skipped entirely
+        #: for later destinations.  Like the encoder as a whole (whose
+        #: variable universe is fixed at construction), this assumes the
+        #: device configurations do not change under a live encoder.
+        self._edge_bdd: Dict[Edge, int] = {}
 
     # ------------------------------------------------------------------
     # Universe discovery
@@ -305,9 +314,13 @@ class PolicyBddEncoder:
 
     def encode_edge(self, info: CompiledEdge) -> int:
         """The (destination-generic) policy BDD for one compiled edge."""
+        by_edge = self._edge_bdd.get(info.edge)
+        if by_edge is not None:
+            return by_edge
         key = self._edge_cache_key(info)
         cached = self._edge_cache.get(key)
         if cached is not None:
+            self._edge_bdd[info.edge] = cached
             return cached
         manager = self.manager
 
@@ -360,6 +373,7 @@ class PolicyBddEncoder:
                 result, self.manager.nvar(self._acl_deny_var)
             )
         self._edge_cache[key] = result
+        self._edge_bdd[info.edge] = result
         return result
 
     def encode_all_edges(

@@ -102,9 +102,62 @@ class Network:
         """Approximate total configuration size (for reporting)."""
         return sum(device.config_line_count() for device in self.devices.values())
 
+    def local_pref_values_by_device(self) -> Dict[str, Tuple[int, ...]]:
+        """Per-device sorted local-preference value tuples, memoised.
+
+        ``build_srp_from_network`` needs these for every destination class,
+        but they only depend on the route maps and session attachments; the
+        memo is invalidated by a fingerprint over those inputs, like the
+        destination class cache.  A hit still pays the O(devices +
+        sessions + route maps) fingerprint construction -- much cheaper
+        than re-deriving the values (which walks every clause), but not
+        free on very large configurations.
+        """
+        fingerprint = tuple(
+            (
+                name,
+                tuple(
+                    (peer, neighbor.import_policy)
+                    for peer, neighbor in device.bgp_neighbors.items()
+                ),
+                tuple(
+                    (rm_name, route_map.clauses)
+                    for rm_name, route_map in device.route_maps.items()
+                ),
+            )
+            for name, device in self.devices.items()
+        )
+        cached = getattr(self, "_lp_cache", None)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[1]
+        values = {
+            name: tuple(sorted(device.local_pref_values()))
+            for name, device in self.devices.items()
+        }
+        self._lp_cache = (fingerprint, values)
+        return values
+
     # ------------------------------------------------------------------
     # Destination equivalence classes (§5.1)
     # ------------------------------------------------------------------
+    def _destination_fingerprint(self) -> Tuple:
+        """A cheap value summarising every input to the destination trie.
+
+        The memoised :meth:`destination_equivalence_classes` is invalidated
+        by comparing fingerprints, so mutating a device's originations or
+        static routes transparently recomputes the classes while repeated
+        calls on an unchanged network (one per class task, per solver
+        invocation, ...) are free.
+        """
+        return tuple(
+            (
+                name,
+                tuple(device.originated_prefixes),
+                tuple(static.prefix for static in device.static_routes),
+            )
+            for name, device in self.devices.items()
+        )
+
     def destination_trie(self) -> PrefixTrie:
         """A prefix trie of every originated prefix with its origin devices."""
         trie = PrefixTrie()
@@ -119,11 +172,26 @@ class Network:
         return trie
 
     def destination_equivalence_classes(self) -> List[Tuple[Prefix, Set[str]]]:
-        """The per-destination classes Bonsai builds one abstraction for."""
-        return [
-            (prefix, origins)
-            for prefix, origins in self.destination_trie().equivalence_classes()
-        ]
+        """The per-destination classes Bonsai builds one abstraction for.
+
+        Memoised: the prefix trie is only re-derived when the fingerprint
+        of the originated prefixes / static routes changes (the pipeline
+        and the batch verifier call this once per class task, previously
+        rebuilding the same trie every time).
+        """
+        fingerprint = self._destination_fingerprint()
+        cached = getattr(self, "_dec_cache", None)
+        if cached is not None and cached[0] == fingerprint:
+            classes = cached[1]
+        else:
+            classes = [
+                (prefix, frozenset(origins))
+                for prefix, origins in self.destination_trie().equivalence_classes()
+            ]
+            self._dec_cache = (fingerprint, classes)
+        # Hand out fresh mutable origin sets so callers cannot corrupt the
+        # cache (the uncached implementation returned fresh sets too).
+        return [(prefix, set(origins)) for prefix, origins in classes]
 
     # ------------------------------------------------------------------
     # Topology statistics used in the evaluation tables

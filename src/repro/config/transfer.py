@@ -16,7 +16,7 @@ syntactic keys only structurally; the ablation benchmark compares the two).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.config.device import DeviceConfig
@@ -146,20 +146,28 @@ class CompiledEdge:
         return self.edge[1]
 
 
-def compile_edges(network: Network, destination: Prefix) -> Dict[Edge, CompiledEdge]:
-    """Compile every directed edge of the network for one destination."""
+def compile_base_edges(network: Network) -> Dict[Edge, CompiledEdge]:
+    """Compile the destination-*independent* part of every directed edge.
+
+    Everything about an edge except its static route and interface-ACL
+    verdict (BGP session, route maps, OSPF) is the same for every
+    destination, so callers compiling many destinations (Bonsai, the batch
+    verifier) build this base once and run the cheap
+    :func:`specialize_compiled_edges` per destination.
+    """
     compiled: Dict[Edge, CompiledEdge] = {}
+    devices = network.devices
     for edge in network.graph.edges:
         receiver, sender = edge
-        receiver_cfg = network.devices[receiver]
-        sender_cfg = network.devices[sender]
+        receiver_cfg = devices[receiver]
+        sender_cfg = devices[sender]
 
-        has_bgp = sender in receiver_cfg.bgp_neighbors and receiver in sender_cfg.bgp_neighbors
+        session_in = receiver_cfg.bgp_neighbors.get(sender)
+        session_out = sender_cfg.bgp_neighbors.get(receiver) if session_in else None
+        has_bgp = session_in is not None and session_out is not None
         ibgp = False
         export_map = import_map = None
         if has_bgp:
-            session_out = sender_cfg.bgp_neighbors[receiver]
-            session_in = receiver_cfg.bgp_neighbors[sender]
             ibgp = session_out.ibgp and session_in.ibgp
             if session_out.export_policy:
                 export_map = sender_cfg.route_maps.get(session_out.export_policy)
@@ -169,14 +177,6 @@ def compile_edges(network: Network, destination: Prefix) -> Dict[Edge, CompiledE
         has_ospf = sender in receiver_cfg.ospf_links and receiver in sender_cfg.ospf_links
         ospf_cost = receiver_cfg.ospf_links[sender].cost if has_ospf else 1
 
-        static = receiver_cfg.static_route_for(destination)
-        has_static = static is not None and static.next_hop == sender
-
-        acl_permits = True
-        acl_name = receiver_cfg.interface_acls.get(sender)
-        if acl_name is not None and acl_name in receiver_cfg.acls:
-            acl_permits = receiver_cfg.acls[acl_name].permits(destination)
-
         compiled[edge] = CompiledEdge(
             edge=edge,
             has_bgp=has_bgp,
@@ -185,10 +185,46 @@ def compile_edges(network: Network, destination: Prefix) -> Dict[Edge, CompiledE
             import_map=import_map,
             has_ospf=has_ospf,
             ospf_cost=ospf_cost,
-            has_static=has_static,
-            acl_permits=acl_permits,
+            has_static=False,
+            acl_permits=True,
         )
     return compiled
+
+
+def specialize_compiled_edges(
+    network: Network, destination: Prefix, base: Dict[Edge, CompiledEdge]
+) -> Dict[Edge, CompiledEdge]:
+    """Fix up a base compilation for one destination.
+
+    Only edges carrying a matching static route or a configured interface
+    ACL differ from the base; everything else is shared, so the per-class
+    cost is O(devices + affected edges) instead of O(edges).
+    """
+    compiled = dict(base)
+    graph = network.graph
+    for name, device in network.devices.items():
+        if not graph.has_node(name):
+            continue
+        static = device.static_route_for(destination)
+        if static is not None:
+            edge = (name, static.next_hop)
+            info = compiled.get(edge)
+            if info is not None:
+                compiled[edge] = replace(info, has_static=True)
+        for sender, acl_name in device.interface_acls.items():
+            acl = device.acls.get(acl_name)
+            if acl is None or acl.permits(destination):
+                continue
+            edge = (name, sender)
+            info = compiled.get(edge)
+            if info is not None:
+                compiled[edge] = replace(info, acl_permits=False)
+    return compiled
+
+
+def compile_edges(network: Network, destination: Prefix) -> Dict[Edge, CompiledEdge]:
+    """Compile every directed edge of the network for one destination."""
+    return specialize_compiled_edges(network, destination, compile_base_edges(network))
 
 
 def syntactic_policy_keys(
@@ -237,6 +273,43 @@ class NetworkTransfer:
     compiled: Dict[Edge, CompiledEdge]
     virtual_edges: FrozenSet[Edge]
 
+    #: Sentinel for memoised "route map dropped the announcement".
+    _DROPPED = object()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_eval_cache", None)
+        return state
+
+    def _evaluate_cached(self, route_map, device, attribute, tag: str):
+        """Memoised :func:`evaluate_route_map`.
+
+        Route maps are pure functions of (map, device lists, announcement,
+        destination); the destination is fixed per transfer instance and
+        the map/device pair is identified by the device name plus map
+        identity, so the same announcement traversing the same policy on
+        several parallel edges is evaluated once.
+        """
+        cache = self.__dict__.get("_eval_cache")
+        if cache is None:
+            cache = self.__dict__["_eval_cache"] = {}
+        key = (tag, id(route_map), device.name, attribute)
+        try:
+            result = cache[key]
+        except KeyError:
+            result = route_map.evaluate(
+                attribute,
+                self.destination,
+                device.community_lists,
+                device.prefix_lists,
+                device.asn or device.name,
+            )
+            cache[key] = self._DROPPED if result is None else result
+            return result
+        except TypeError:
+            return evaluate_route_map(route_map, device, attribute, self.destination)
+        return None if result is self._DROPPED else result
+
     def __call__(
         self, edge: Edge, attribute: Optional[RibAttribute]
     ) -> Optional[RibAttribute]:
@@ -262,9 +335,12 @@ class NetworkTransfer:
             if info.has_ospf and attribute.ospf is not None:
                 ospf_attr = attribute.ospf.with_added_cost(info.ospf_cost)
             if info.has_bgp and attribute.bgp is not None:
-                outgoing = evaluate_route_map(
-                    info.export_map, sender_cfg, attribute.bgp, self.destination
-                )
+                if info.export_map is None:
+                    outgoing = attribute.bgp
+                else:
+                    outgoing = self._evaluate_cached(
+                        info.export_map, sender_cfg, attribute.bgp, "out"
+                    )
                 if outgoing is not None:
                     receiver_asn = receiver_cfg.asn or str(receiver)
                     sender_asn = sender_cfg.asn or str(sender)
@@ -278,18 +354,28 @@ class NetworkTransfer:
                     else:
                         incoming = outgoing.prepended(sender_asn)
                     if incoming is not None:
-                        bgp_attr = evaluate_route_map(
-                            info.import_map, receiver_cfg, incoming, self.destination
-                        )
+                        if info.import_map is None:
+                            bgp_attr = incoming
+                        else:
+                            bgp_attr = self._evaluate_cached(
+                                info.import_map, receiver_cfg, incoming, "in"
+                            )
 
         if static_attr is None and bgp_attr is None and ospf_attr is None:
             return NO_ROUTE
-        partial = RibAttribute(bgp=bgp_attr, ospf=ospf_attr, static=static_attr)
+        # best_protocol() by administrative distance, inlined (static 1 <
+        # ebgp 20 < ospf 110) to avoid building a throwaway RibAttribute.
+        if static_attr is not None:
+            chosen = "static"
+        elif bgp_attr is not None:
+            chosen = "ebgp"
+        else:
+            chosen = "ospf"
         return RibAttribute(
             bgp=bgp_attr,
             ospf=ospf_attr,
             static=static_attr,
-            chosen=partial.best_protocol(),
+            chosen=chosen,
         )
 
 
@@ -322,12 +408,23 @@ def build_srp_from_network(
     destination: Prefix,
     origins: Optional[Set[Node]] = None,
     ignore_communities: Optional[FrozenSet[str]] = None,
+    compiled: Optional[Dict[Edge, CompiledEdge]] = None,
+    include_syntactic_keys: bool = True,
 ) -> SRP:
     """Build the concrete SRP for one destination equivalence class.
 
     The resulting SRP uses multi-protocol RIB attributes
     (:class:`~repro.routing.attributes.RibAttribute`) so that BGP, OSPF and
     static routes coexist exactly as described in §6.
+
+    ``compiled`` lets a caller that has already run
+    :func:`compile_edges` for this destination (e.g. Bonsai, which also
+    needs the compiled edges for BDD specialization) share the result
+    instead of recompiling.  ``include_syntactic_keys=False`` skips the
+    specialized syntactic policy keys entirely (only the virtual
+    destination edges keep a key); callers that just *solve* the SRP --
+    the data-plane simulation behind the verifiers -- never read them, and
+    computing the keys costs as much as a full solver round.
     """
     if origins is None:
         origins = network.originators_of(destination)
@@ -337,7 +434,8 @@ def build_srp_from_network(
         ignore_communities = network.unused_communities()
 
     graph, dest_node, virtual_edges = _destination_node(network.graph, set(origins))
-    compiled = compile_edges(network, destination)
+    if compiled is None:
+        compiled = compile_edges(network, destination)
     protocol = MultiProtocol()
     bgp = BgpProtocol(unused_communities=ignore_communities)
     ospf = OspfProtocol()
@@ -349,19 +447,21 @@ def build_srp_from_network(
         virtual_edges=frozenset(virtual_edges),
     )
 
-    edge_policies: Dict[Edge, Hashable] = dict(
-        syntactic_policy_keys(network, destination, compiled, ignore_communities)
+    edge_policies: Dict[Edge, Hashable] = (
+        dict(syntactic_policy_keys(network, destination, compiled, ignore_communities))
+        if include_syntactic_keys
+        else {}
     )
     for edge in virtual_edges:
         edge_policies[edge] = ("virtual-destination",)
 
+    lp_values = network.local_pref_values_by_device()
     node_prefs: Dict[Node, tuple] = {}
     for node in graph.nodes:
         if node == VIRTUAL_DESTINATION:
             node_prefs[node] = (DEFAULT_LOCAL_PREF,)
             continue
-        device = network.devices[node]
-        node_prefs[node] = tuple(sorted(device.local_pref_values()))
+        node_prefs[node] = lp_values[node]
 
     initial = RibAttribute(
         bgp=bgp.initial_attribute(dest_node),

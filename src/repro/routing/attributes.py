@@ -118,12 +118,22 @@ class BgpAttribute:
     def prepended(self, asn: str) -> "BgpAttribute":
         """A copy with ``asn`` prepended to the AS path (eBGP route export);
         the receiver learns it over eBGP, so the iBGP mark is cleared."""
-        return replace(self, as_path=(asn,) + self.as_path, ibgp_learned=False)
+        return BgpAttribute(
+            local_pref=self.local_pref,
+            communities=self.communities,
+            as_path=(asn,) + self.as_path,
+            ibgp_learned=False,
+        )
 
     def via_ibgp(self) -> "BgpAttribute":
         """A copy marked as learned over an iBGP session (AS path, local
         preference and communities travel unchanged)."""
-        return replace(self, ibgp_learned=True)
+        return BgpAttribute(
+            local_pref=self.local_pref,
+            communities=self.communities,
+            as_path=self.as_path,
+            ibgp_learned=True,
+        )
 
     def contains_as(self, asn: str) -> bool:
         """True if ``asn`` already appears in the AS path (loop detection)."""

@@ -82,8 +82,15 @@ class MultiProtocol(Protocol):
         )
 
     def prefer(self, a: RibAttribute, b: RibAttribute) -> bool:
-        """Compare the main RIB entries of two product attributes."""
-        pa, pb = a.best_protocol(), b.best_protocol()
+        """Compare the main RIB entries of two product attributes.
+
+        Every ``RibAttribute`` built by the transfer functions carries its
+        best protocol in ``chosen`` (the constructors enforce the
+        invariant ``chosen == best_protocol()``), so the admin-distance
+        winner only needs recomputing for hand-built attributes.
+        """
+        pa = a.chosen if a.chosen is not None else a.best_protocol()
+        pb = b.chosen if b.chosen is not None else b.best_protocol()
         if pa is None or pb is None:
             return pb is None and pa is not None
         da, db = ADMIN_DISTANCE[pa], ADMIN_DISTANCE[pb]

@@ -29,10 +29,40 @@ class Solution:
         The instance this labels.
     labeling:
         The attribute chosen at each node (``None`` meaning no route).
+    transfer_cache:
+        Optional memo of ``(edge, neighbour_label) -> transferred
+        attribute`` filled in by the solver.  The final stability pass
+        evaluates every edge under the final labeling, so forwarding-edge
+        extraction afterwards is pure cache hits instead of re-running the
+        (route-map-heavy) transfer functions.
     """
 
     srp: SRP
     labeling: Labeling = field(default_factory=dict)
+    transfer_cache: Optional[Dict] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _offers(self, node: Node) -> List[Tuple[Edge, Attribute]]:
+        """``choices_L(node)`` under this labeling, via the cache if set."""
+        cache = self.transfer_cache
+        if cache is None:
+            return self.srp.choices(node, self.labeling)
+        transfer = self.srp.transfer
+        get_label = self.labeling.get
+        result = []
+        for edge in self.srp.graph.out_edges(node):
+            label = get_label(edge[1])
+            key = (edge, label)
+            try:
+                attr = cache[key]
+            except KeyError:
+                attr = cache[key] = transfer(edge, label)
+            except TypeError:
+                attr = transfer(edge, label)
+            if attr is not None:
+                result.append((edge, attr))
+        return result
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -45,7 +75,7 @@ class Solution:
         if chosen is None or node == self.srp.destination:
             return []
         edges = []
-        for edge, attr in self.srp.choices(node, self.labeling):
+        for edge, attr in self._offers(node):
             if self.srp.equally_preferred(attr, chosen):
                 edges.append(edge)
         return edges
@@ -111,7 +141,7 @@ class Solution:
                         f"destination {node!r} labelled {label!r}, expected {srp.initial!r}"
                     )
                 continue
-            offers = [attr for _, attr in srp.choices(node, self.labeling)]
+            offers = [attr for _, attr in self._offers(node)]
             if not offers:
                 if label is not None:
                     problems.append(f"{node!r} has no offers but is labelled {label!r}")

@@ -8,15 +8,33 @@ the whole point -- but this repository uses a solver in three places:
    downstream analyses (reachability, verification benchmarks) run, and
 3. to explore the multiple solutions BGP gadgets can exhibit.
 
-Two solvers are provided:
+Three solvers are provided:
 
-* :func:`solve` -- a synchronous fixed-point (round-based) computation with
-  deterministic tie-breaking.  This matches how Batfish simulates the
-  control plane and converges for the protocols modelled here.
+* :func:`solve` -- the production solver: a dependency-tracked *worklist*
+  computation that is round-for-round equivalent to the synchronous sweep
+  (identical labeling after every round, hence an identical fixed point
+  and identical convergence behaviour) but only recomputes nodes whose
+  out-neighbours' labels changed in the previous round.  On a network of
+  diameter ``d`` the sweep costs ``O(d x |E|)`` transfer evaluations; the
+  worklist touches each edge only while its frontier passes, which is the
+  difference between seconds and minutes on long-diameter topologies.
+* :func:`solve_sweep` -- the original synchronous fixed-point (full
+  round-robin) computation with deterministic tie-breaking.  This matches
+  how Batfish simulates the control plane; it is kept as the *reference
+  oracle* the equivalence tests and the hot-path benchmark compare
+  :func:`solve` against.
 * :func:`solve_with_activation_order` -- an asynchronous simulation that
   processes one node at a time following a caller-supplied (or seeded
   pseudo-random) activation sequence; different orders can surface the
   different stable solutions of policy-rich BGP networks (e.g. Figure 2).
+
+No solver can return an unconverged labeling silently: exhausting the
+round (or activation) budget raises :class:`ConvergenceError`.  A
+returned :class:`~repro.srp.solution.Solution` is stable by construction
+(a round that changes nothing is exactly the fixed-point condition);
+``solve_sweep`` and ``solve_with_activation_order`` additionally re-check
+stability through the live transfer functions, which the equivalence
+tests use to cross-validate the worklist solver.
 """
 
 from __future__ import annotations
@@ -61,16 +79,169 @@ def _best_choice(srp: SRP, node: Node, labeling: Labeling) -> Optional[Attribute
 
 
 def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
-    """Compute a stable solution by synchronous fixed-point iteration.
+    """Compute a stable solution by dependency-tracked worklist iteration.
 
-    Every round recomputes each node's best choice from the previous
-    round's labeling; iteration stops when a full round changes nothing.
+    Round-for-round equivalent to :func:`solve_sweep` -- after every round
+    the labeling is identical to what a full synchronous sweep would have
+    produced -- because a node's best choice depends only on the labels of
+    its out-neighbours: a node none of whose out-neighbours changed in the
+    previous round would recompute the same label, so the worklist skips
+    it.  The first round evaluates every node (transfer functions may
+    produce attributes from a ``None`` input, e.g. static routes).
 
     Raises
     ------
     ConvergenceError
         If no fixed point is reached within ``max_rounds`` rounds (e.g. a
-        BGP dispute gadget that oscillates under synchronous updates).
+        BGP dispute gadget that oscillates under synchronous updates).  An
+        unconverged labeling is never returned silently.
+    """
+    graph = srp.graph
+    transfer = srp.transfer
+    prefer = srp.prefer
+    destination = srp.destination
+    labeling: Labeling = {node: None for node in graph.nodes}
+    labeling[destination] = srp.initial
+
+    # Static adjacency, materialised once: out_edges feed a node's choices;
+    # dependents(v) are the nodes whose choices read v's label.
+    out_edges = {node: tuple(graph.out_edges(node)) for node in graph.nodes}
+    dependents = {
+        node: tuple(u for u, _ in graph.in_edges(node)) for node in graph.nodes
+    }
+
+    # Transfer results memoised per (edge, neighbour-label): ``trans`` is a
+    # pure function in the SRP model and attributes are value-semantic
+    # frozen dataclasses, so the same offer never needs recomputing.
+    # Unhashable labels (custom attribute types) fall back to direct calls.
+    transfer_cache: dict = {}
+    sort_keys: dict = {}
+    # Per-node offer table: offers[node][edge] is the attribute currently
+    # offered over that edge (None = dropped), kept incrementally -- when a
+    # neighbour's label changes only that edge is re-evaluated, and the
+    # final stability pass runs without touching the transfer functions at
+    # all.  Insertion order is the out-edge order, so the deterministic
+    # tie-breaking scan matches the sweep oracle exactly.
+    offers: dict = {}
+
+    def attribute_key(attr) -> str:
+        # repr() of a frozen attribute is pure; memoise it (ties recur).
+        try:
+            key = sort_keys.get(attr)
+            if key is None:
+                key = sort_keys[attr] = _attribute_sort_key(attr)
+            return key
+        except TypeError:
+            return _attribute_sort_key(attr)
+
+    # Equal attributes are interned to one representative object, so the
+    # (extremely common, e.g. ECMP) "offer equals the current best" case is
+    # a pointer comparison instead of two ``prefer`` calls plus an
+    # (equality-preserving, hence semantics-preserving) repr tie-break.
+    interned: dict = {}
+
+    def evaluate(edge, label) -> Optional[Attribute]:
+        key = (edge, label)
+        try:
+            return transfer_cache[key]
+        except KeyError:
+            attr = transfer(edge, label)
+            if attr is not None:
+                try:
+                    attr = interned.setdefault(attr, attr)
+                except TypeError:
+                    pass
+            transfer_cache[key] = attr
+            return attr
+        except TypeError:
+            return transfer(edge, label)
+
+    def best_of(node_offers) -> Optional[Attribute]:
+        best = None
+        best_key = None
+        for attr in node_offers.values():
+            if attr is None or attr is best:
+                continue
+            if best is None:
+                best = attr
+                best_key = None
+                continue
+            if prefer(attr, best):
+                best = attr
+                best_key = None
+            elif not prefer(best, attr):
+                # Equally preferred: break the tie deterministically.
+                if best_key is None:
+                    best_key = attribute_key(best)
+                attr_key = attribute_key(attr)
+                if attr_key < best_key:
+                    best = attr
+                    best_key = attr_key
+        return best
+
+    # Round 1 evaluates every edge of every node (transfer functions may
+    # produce attributes from a ``None`` input, e.g. static routes).
+    get_label = labeling.get
+    for node in graph.nodes:
+        if node != destination:
+            offers[node] = {
+                edge: evaluate(edge, get_label(edge[1])) for edge in out_edges[node]
+            }
+
+    dirty = [node for node in graph.nodes if node != destination]
+    for _ in range(max_rounds):
+        # Compute this round's updates from the previous round's labeling
+        # (synchronous semantics), then apply them all at once.  A round
+        # with no updates is exactly a sweep round that changes nothing,
+        # so convergence happens on the same round as the sweep oracle.
+        updates = []
+        for node in dirty:
+            best = best_of(offers[node])
+            if best != labeling[node]:
+                updates.append((node, best))
+        if not updates:
+            # A no-update round IS the stability proof: every node's label
+            # equals the best of its offer table, and the tables reflect
+            # the final labeling (each edge was re-evaluated whenever its
+            # neighbour changed).  Re-scanning the same memoised tables
+            # could never disagree, so no redundant check is performed
+            # here; ``solve_sweep`` -- the reference oracle -- retains the
+            # live ``Solution.is_stable()`` re-evaluation that would catch
+            # an impure (model-violating) transfer function.
+            #
+            # Hand the transfer memo to the solution: every edge has been
+            # evaluated under the final labeling, so forwarding-edge
+            # extraction downstream is pure cache hits.
+            return Solution(
+                srp=srp, labeling=labeling, transfer_cache=transfer_cache
+            )
+        next_dirty = {}
+        for node, best in updates:
+            labeling[node] = best
+            for dependent in dependents[node]:
+                if dependent != destination:
+                    next_dirty[dependent] = True
+                    offers[dependent][(dependent, node)] = evaluate(
+                        (dependent, node), best
+                    )
+        dirty = list(next_dirty)
+    raise ConvergenceError(f"no fixed point after {max_rounds} rounds")
+
+
+def solve_sweep(srp: SRP, max_rounds: int = 1000) -> Solution:
+    """Compute a stable solution by synchronous full-sweep iteration.
+
+    Every round recomputes each node's best choice from the previous
+    round's labeling; iteration stops when a full round changes nothing.
+    This is the reference oracle :func:`solve` is validated against; use
+    :func:`solve` on anything performance-sensitive.
+
+    Raises
+    ------
+    ConvergenceError
+        If no fixed point is reached within ``max_rounds`` rounds (e.g. a
+        BGP dispute gadget that oscillates under synchronous updates).  An
+        unconverged labeling is never returned silently.
     """
     labeling: Labeling = {node: None for node in srp.graph.nodes}
     labeling[srp.destination] = srp.initial

@@ -1,0 +1,413 @@
+"""Tests for the hot-path overhaul (PR 3).
+
+Covers the four optimized paths against their reference oracles -- the
+worklist SRP solver vs the synchronous sweep, the dirty-group refinement
+worklist vs the full rescan -- plus the iterative BDD core's deep-chain
+regression, the convergence-failure guarantees, the network-level
+memoisation, and the cross-class abstraction reuse.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.abstraction.bonsai import Bonsai
+from repro.abstraction.ec import routable_equivalence_classes
+from repro.abstraction.refinement import (
+    find_abstraction_partition,
+    find_abstraction_partition_reference,
+)
+from repro.bdd.manager import FALSE, TRUE, BddManager
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.routemap import PrefixList, PrefixListEntry, RouteMap, RouteMapClause
+from repro.config.transfer import build_srp_from_network
+from repro.netgen.base import make_bgp_device, uniform_bgp_network
+from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology, default_size
+from repro.srp.instance import SRP
+from repro.srp.solver import ConvergenceError, solve, solve_sweep
+from repro.topology.graph import Graph
+
+from test_property_based import random_connected_graph
+
+
+# ----------------------------------------------------------------------
+# Strategies (random perturbed eBGP networks, as in test_property_based)
+# ----------------------------------------------------------------------
+_DENY_IN = RouteMap(name="DENY-IN", clauses=(RouteMapClause(sequence=10, action="deny"),))
+_PREF_IN = RouteMap(
+    name="PREF-IN",
+    clauses=(RouteMapClause(sequence=10, action="permit", set_local_pref=200),),
+)
+
+
+@st.composite
+def perturbed_networks(draw):
+    graph, nodes = random_connected_graph(draw, max_extra_edges=6)
+    network = uniform_bgp_network(graph, name="hotpath-hyp", originators=[nodes[0]])
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        device = network.devices[nodes[draw(st.integers(0, len(nodes) - 1))]]
+        neighbours = sorted(device.bgp_neighbors)
+        if not neighbours:
+            continue
+        peer = neighbours[draw(st.integers(0, len(neighbours) - 1))]
+        route_map = _DENY_IN if draw(st.booleans()) else _PREF_IN
+        device.route_maps[route_map.name] = route_map
+        device.bgp_neighbors[peer].import_policy = route_map.name
+    return network
+
+
+def _srps_of(network):
+    return [
+        build_srp_from_network(network, ec.prefix, set(ec.origins))
+        for ec in routable_equivalence_classes(network)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worklist solver == sweep oracle
+# ----------------------------------------------------------------------
+class TestWorklistSolverEquivalence:
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_matches_sweep_on_every_netgen_family(self, family):
+        network = build_topology(family, default_size(family))
+        for srp in _srps_of(network):
+            assert solve(srp).labeling == solve_sweep(srp).labeling
+
+    @settings(max_examples=20, deadline=None)
+    @given(perturbed_networks())
+    def test_matches_sweep_on_random_perturbed_networks(self, network):
+        for srp in _srps_of(network):
+            # Random local-pref perturbations can build genuine BGP
+            # dispute gadgets that oscillate under synchronous updates;
+            # the worklist must then raise exactly when the sweep does.
+            try:
+                reference = solve_sweep(srp)
+            except ConvergenceError:
+                with pytest.raises(ConvergenceError):
+                    solve(srp)
+                continue
+            fast = solve(srp)
+            assert fast.labeling == reference.labeling
+            # Forwarding extraction (via the solver's transfer memo) must
+            # also coincide with the oracle's.
+            for node in srp.graph.nodes:
+                assert sorted(map(str, fast.next_hops(node))) == sorted(
+                    map(str, reference.next_hops(node))
+                )
+
+    def test_converges_in_the_same_round_as_the_sweep(self):
+        # d - a - b line: labels settle in 2 rounds, round 3 confirms.
+        graph = Graph()
+        graph.add_undirected_edge("d", "a")
+        graph.add_undirected_edge("a", "b")
+        network = uniform_bgp_network(graph, name="line", originators=["d"])
+        srp = build_srp_from_network(network, Prefix.parse("10.0.0.0/24"), {"d"})
+        solve(srp, max_rounds=3)
+        solve_sweep(srp, max_rounds=3)
+        with pytest.raises(ConvergenceError):
+            solve(srp, max_rounds=2)
+        with pytest.raises(ConvergenceError):
+            solve_sweep(srp, max_rounds=2)
+
+
+class TestConvergenceFailureIsLoud:
+    def _oscillator(self) -> SRP:
+        """The classic synchronous flip-flop: x and y invert each other.
+
+        Both hear a constant baseline 10 from the destination.  When a
+        node's neighbour holds the baseline it is offered the better 1;
+        once the neighbour holds 1 the offer disappears and the neighbour
+        falls back to 10 -- so under synchronous updates both nodes flip
+        between 1 and 10 forever.
+        """
+        graph = Graph()
+        graph.add_undirected_edge("d", "x")
+        graph.add_undirected_edge("x", "y")
+        graph.add_undirected_edge("y", "d")
+
+        def transfer(edge, attr):
+            _, v = edge
+            if v == "d":
+                return 10
+            if attr == 10:
+                return 1
+            return None
+
+        def prefer(a, b):
+            return a < b
+
+        return SRP(graph=graph, destination="d", initial=0, prefer=prefer, transfer=transfer)
+
+    def test_solver_raises_instead_of_returning_unconverged(self):
+        srp = self._oscillator()
+        with pytest.raises(ConvergenceError):
+            solve(srp, max_rounds=50)
+        with pytest.raises(ConvergenceError):
+            solve_sweep(srp, max_rounds=50)
+
+    def test_max_rounds_exhaustion_names_the_budget(self):
+        srp = self._oscillator()
+        with pytest.raises(ConvergenceError, match="50 rounds"):
+            solve(srp, max_rounds=50)
+
+
+# ----------------------------------------------------------------------
+# Dirty-group refinement == full-rescan oracle
+# ----------------------------------------------------------------------
+class TestDirtyGroupRefinementEquivalence:
+    @pytest.mark.parametrize("family", sorted(TOPOLOGY_FAMILIES))
+    def test_matches_reference_on_every_netgen_family(self, family):
+        network = build_topology(family, default_size(family))
+        for srp in _srps_of(network):
+            fast, _ = find_abstraction_partition(srp)
+            reference, _ = find_abstraction_partition_reference(srp)
+            assert set(fast.partitions()) == set(reference.partitions())
+
+    @settings(max_examples=15, deadline=None)
+    @given(perturbed_networks())
+    def test_matches_reference_on_random_perturbed_networks(self, network):
+        for srp in _srps_of(network):
+            fast, _ = find_abstraction_partition(srp)
+            reference, _ = find_abstraction_partition_reference(srp)
+            assert set(fast.partitions()) == set(reference.partitions())
+
+
+# ----------------------------------------------------------------------
+# Iterative BDD core: deep chains cannot overflow the recursion limit
+# ----------------------------------------------------------------------
+class TestIterativeBddDeepChains:
+    DEPTH = 1500
+
+    def test_deep_chain_ops_run_without_recursion(self):
+        """A policy chain ~1500 variables deep: the old bounded-depth
+        recursive ``ite``/``restrict`` exceeded Python's default recursion
+        limit (1000) on every one of these operations."""
+        manager = BddManager(self.DEPTH)
+        chain = TRUE
+        # Reverse order keeps construction O(n) while the resulting BDD is
+        # a single chain DEPTH nodes deep.
+        for var in range(self.DEPTH - 1, -1, -1):
+            chain = manager.ite(manager.var(var), chain, FALSE)
+        assert manager.size(chain) == self.DEPTH
+
+        negated = manager.apply_not(chain)  # walks the full chain depth
+        assert manager.evaluate(negated, {i: True for i in range(self.DEPTH)}) is False
+
+        restricted = manager.restrict(chain, {0: True, self.DEPTH // 2: True})
+        assert manager.size(restricted) == self.DEPTH - 2
+        assert manager.sat_count(chain) == 1
+
+    def test_deep_route_map_chain_encodes_under_a_tight_recursion_limit(self):
+        """A route map with hundreds of distinct prefix-list matches (the
+        deep ACL/route-map chain shape) encodes and specializes fine even
+        when Python's recursion limit would have stopped the old
+        recursive core."""
+        clauses = []
+        prefix_lists = {}
+        depth = 220
+        for i in range(depth):
+            name = f"PL{i}"
+            prefix_lists[name] = PrefixList(
+                name=name,
+                entries=(
+                    PrefixListEntry(
+                        prefix=Prefix.parse(f"10.{i % 250}.{i // 250}.0/24"),
+                        action="permit",
+                    ),
+                ),
+            )
+            clauses.append(
+                RouteMapClause(
+                    sequence=10 * (i + 1),
+                    action="permit" if i % 2 else "deny",
+                    match_prefix_lists=(name,),
+                )
+            )
+        chain_map = RouteMap(name="CHAIN", clauses=tuple(clauses))
+
+        graph = Graph()
+        graph.add_undirected_edge("a", "b")
+        devices = {
+            name: make_bgp_device(name=name, neighbours=graph.successors(name))
+            for name in graph.nodes
+        }
+        devices["a"].originated_prefixes.append(Prefix.parse("10.0.0.0/24"))
+        devices["b"].route_maps["CHAIN"] = chain_map
+        devices["b"].prefix_lists.update(prefix_lists)
+        devices["b"].bgp_neighbors["a"].import_policy = "CHAIN"
+        network = Network(graph=graph, devices=devices, name="deep-chain")
+
+        bonsai = Bonsai(network)
+        limit = sys.getrecursionlimit()
+        # Leave only a couple hundred frames of headroom: far below the
+        # ~220-variable chain the encoder walks, so the old recursive core
+        # would raise RecursionError here.
+        sys.setrecursionlimit(300)
+        try:
+            keys = bonsai.policy_keys(Prefix.parse("10.0.0.0/24"))
+        finally:
+            sys.setrecursionlimit(limit)
+        assert keys  # encoded and specialized without blowing the stack
+        result = bonsai.compress_prefix(Prefix.parse("10.0.0.0/24"), build_network=False)
+        assert result.abstract_nodes >= 1
+
+
+# ----------------------------------------------------------------------
+# Hand-expanded attribute copies must preserve every field
+# ----------------------------------------------------------------------
+class TestAttributeCopiesRoundTripAllFields:
+    def test_prepended_and_via_ibgp_preserve_unrelated_fields(self):
+        """``prepended``/``via_ibgp`` construct copies explicitly (the
+        ``dataclasses.replace`` overhead was hot); this guards the
+        invariant that a future ``BgpAttribute`` field cannot be silently
+        reset to its default by either copy."""
+        import dataclasses
+
+        from repro.routing.attributes import BgpAttribute
+
+        non_defaults = {
+            "local_pref": 555,
+            "communities": frozenset({"65000:1"}),
+            "as_path": ("x", "y"),
+            "ibgp_learned": True,
+        }
+        assert set(non_defaults) == {
+            f.name for f in dataclasses.fields(BgpAttribute)
+        }, "new BgpAttribute field: extend this test and the explicit copies"
+        attr = BgpAttribute(**non_defaults)
+
+        prepended = attr.prepended("z")
+        assert prepended.as_path == ("z", "x", "y")
+        assert prepended.ibgp_learned is False
+        for name in ("local_pref", "communities"):
+            assert getattr(prepended, name) == non_defaults[name]
+
+        via = attr.via_ibgp()
+        assert via.ibgp_learned is True
+        for name in ("local_pref", "communities", "as_path"):
+            assert getattr(via, name) == non_defaults[name]
+
+
+# ----------------------------------------------------------------------
+# Network-level memoisation
+# ----------------------------------------------------------------------
+class TestNetworkMemoisation:
+    def _network(self):
+        graph = Graph()
+        graph.add_undirected_edge("a", "b")
+        devices = {
+            name: make_bgp_device(name=name, neighbours=graph.successors(name))
+            for name in graph.nodes
+        }
+        devices["a"].originated_prefixes.append(Prefix.parse("10.1.0.0/24"))
+        return Network(graph=graph, devices=devices, name="memo")
+
+    def test_destination_classes_are_cached_and_fresh_copies(self):
+        network = self._network()
+        first = network.destination_equivalence_classes()
+        second = network.destination_equivalence_classes()
+        assert first == second
+        # Mutating a returned origin set must not corrupt the cache.
+        second[0][1].add("zzz")
+        assert network.destination_equivalence_classes() == first
+
+    def test_destination_class_cache_invalidated_on_mutation(self):
+        network = self._network()
+        before = network.destination_equivalence_classes()
+        network.devices["b"].originated_prefixes.append(Prefix.parse("10.2.0.0/24"))
+        after = network.destination_equivalence_classes()
+        assert len(after) > len(before)
+        prefixes = {str(prefix) for prefix, _ in after}
+        assert "10.2.0.0/24" in prefixes
+
+    def test_local_pref_memo_invalidated_on_route_map_change(self):
+        network = self._network()
+        srp = build_srp_from_network(network, Prefix.parse("10.1.0.0/24"), {"a"})
+        assert srp.prefs("b") == (100,)
+        # Attaching a local-pref-setting import policy must invalidate the
+        # memoised per-device values (both the map inventory and the
+        # session attachments are fingerprinted).
+        network.devices["b"].route_maps["PREF-IN"] = _PREF_IN
+        network.devices["b"].bgp_neighbors["a"].import_policy = "PREF-IN"
+        srp = build_srp_from_network(network, Prefix.parse("10.1.0.0/24"), {"a"})
+        assert 200 in srp.prefs("b")
+
+
+# ----------------------------------------------------------------------
+# Cross-class abstraction reuse
+# ----------------------------------------------------------------------
+class TestCrossClassAbstractionReuse:
+    def _two_prefix_network(self):
+        graph = Graph()
+        graph.add_undirected_edge("a", "b")
+        graph.add_undirected_edge("b", "c")
+        devices = {
+            name: make_bgp_device(name=name, neighbours=graph.successors(name))
+            for name in graph.nodes
+        }
+        devices["a"].originated_prefixes.extend(
+            [Prefix.parse("10.1.0.0/24"), Prefix.parse("10.2.0.0/24")]
+        )
+        return Network(graph=graph, devices=devices, name="two-prefix")
+
+    def test_identical_signatures_share_one_refinement(self):
+        bonsai = Bonsai(self._two_prefix_network())
+        results = [
+            bonsai.compress(ec, build_network=False)
+            for ec in bonsai.equivalence_classes()
+        ]
+        assert len(results) == 2
+        info = bonsai.abstraction_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        # The shared RefinementResult yields the identical partition.
+        assert results[0].refinement is results[1].refinement
+        assert (
+            results[0].refinement.partition.partitions()
+            == results[1].refinement.partition.partitions()
+        )
+
+    def test_different_policies_do_not_share(self):
+        network = self._two_prefix_network()
+        # Deny announcements of 10.2/24 on one session: the two classes now
+        # specialize to different keys and must not share an abstraction.
+        deny_map = RouteMap(
+            name="DENY-10-2",
+            clauses=(
+                RouteMapClause(
+                    sequence=10, action="deny", match_prefix_lists=("PL-10-2",)
+                ),
+                RouteMapClause(sequence=20, action="permit"),
+            ),
+        )
+        device = network.devices["c"]
+        device.prefix_lists["PL-10-2"] = PrefixList(
+            name="PL-10-2",
+            entries=(
+                PrefixListEntry(prefix=Prefix.parse("10.2.0.0/24"), action="permit"),
+            ),
+        )
+        device.route_maps["DENY-10-2"] = deny_map
+        device.bgp_neighbors["b"].import_policy = "DENY-10-2"
+        bonsai = Bonsai(network)
+        for ec in bonsai.equivalence_classes():
+            bonsai.compress(ec, build_network=False)
+        info = bonsai.abstraction_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 2
+
+    def test_pipeline_results_with_reuse_stay_bit_identical(self):
+        network = self._two_prefix_network()
+        bonsai = Bonsai(network)
+        results = bonsai.compress_all()
+        fresh = [
+            Bonsai(network).compress(ec, build_network=False)
+            for ec in bonsai.equivalence_classes()
+        ]
+        for shared, independent in zip(results, fresh):
+            assert (
+                shared.refinement.partition.partitions()
+                == independent.refinement.partition.partitions()
+            )

@@ -168,7 +168,7 @@ class TestRefinementCoverage:
         partition, _ = find_abstraction_partition(srp)
         before = partition.num_groups()
         keys = {edge: srp.policy_key(edge) for edge in graph.edges}
-        assert _split_transfer_violations(graph, keys, partition) == 0
+        assert _split_transfer_violations(graph, keys, partition) == []
         assert partition.num_groups() == before
         assert isinstance(partition, UnionSplitFind)
 
