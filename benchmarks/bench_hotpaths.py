@@ -16,7 +16,11 @@ Stages
   policy keys prepared outside the timed region;
 * ``compress``       -- the serial :class:`CompressionPipeline` end to end;
 * ``verify``         -- the serial :class:`BatchVerifier` end to end;
-* ``pipeline``       -- compress + verify (the acceptance metric).
+* ``pipeline``       -- compress + verify (the acceptance metric);
+* ``failure_sweep``  -- single-link :class:`FailureSweep` runs (incremental
+  re-solve vs the scratch oracle); the report additionally records
+  ``failure_incremental_speedup``, the scratch/incremental wall-clock
+  ratio on the fat-tree sweep.
 
 Every stage is run ``--repeat`` times and the *minimum* is reported, so
 scheduler noise cannot manufacture a regression.
@@ -52,6 +56,7 @@ from repro.abstraction.refinement import compute_abstraction
 from repro.analysis.batch import BatchVerifier
 from repro.bdd.manager import FALSE, BddManager
 from repro.config.transfer import build_srp_from_network
+from repro.failures import FailureSweep
 from repro.netgen.families import build_topology
 from repro.pipeline.core import CompressionPipeline
 from repro.srp import solver as srp_solver
@@ -76,6 +81,19 @@ QUICK_WORKLOADS = [
 #: BDD micro-workload size per mode.
 FULL_BDD_VARS = 600
 QUICK_BDD_VARS = 200
+
+#: (family, size, class limit) triples for the failure-sweep stage.  The
+#: fat-tree entry carries the PR-4 acceptance criterion (incremental
+#: re-solve >=2x over scratch); the class limit keeps the stage's
+#: wall-clock bench-sized without changing the per-scenario work.
+FULL_FAILURE_WORKLOADS = [
+    ("fattree", 6, 6),
+    ("ring", 16, None),
+]
+QUICK_FAILURE_WORKLOADS = [
+    ("fattree", 4, 4),
+    ("ring", 12, None),
+]
 
 #: Flat grace added to every per-stage regression check.  Baselines are
 #: recorded on whatever machine cut the PR while the gate runs on CI
@@ -162,10 +180,42 @@ def stage_verify(workloads) -> float:
     return time.perf_counter() - start
 
 
+def stage_failure_sweep(failure_workloads):
+    """Single-link failure sweeps with the scratch oracle enabled.
+
+    Returns ``(seconds, fattree_speedup)``: the timed stage plus the
+    incremental-vs-scratch wall-clock ratio of the fat-tree sweep (the
+    acceptance metric recorded as ``failure_incremental_speedup``).
+    """
+    networks = [
+        (family, build_topology(family, size), limit)
+        for family, size, limit in failure_workloads
+    ]
+    speedup = None
+    start = time.perf_counter()
+    for family, network, limit in networks:
+        report = FailureSweep(
+            network,
+            k=1,
+            executor="serial",
+            soundness=False,
+            oracle=True,
+            limit=limit,
+        ).run()
+        if not report.incremental_all_match():
+            raise RuntimeError(
+                f"incremental re-solve diverged from the scratch oracle on "
+                f"{network.name}: {report.incremental_divergences()}"
+            )
+        if family == "fattree":
+            speedup = report.incremental_speedup
+    return time.perf_counter() - start, speedup
+
+
 # ----------------------------------------------------------------------
 # Correctness cross-checks (reference oracles)
 # ----------------------------------------------------------------------
-def run_checks(workloads) -> List[str]:
+def run_checks(workloads, failure_workloads=()) -> List[str]:
     """Compare the optimized hot paths against their reference oracles.
 
     Returns a list of human-readable failures (empty = all good).
@@ -203,18 +253,48 @@ def run_checks(workloads) -> List[str]:
                 f"{family}({size}): abstract and concrete verdicts diverge: "
                 f"{report.mismatches()}"
             )
+    for family, size, limit in failure_workloads:
+        network = build_topology(family, size)
+        sweep = FailureSweep(
+            network,
+            k=1,
+            executor="serial",
+            oracle=True,
+            soundness=True,
+            limit=limit,
+        ).run()
+        if not sweep.incremental_all_match():
+            failures.append(
+                f"{family}({size}): incremental re-solve diverges from the "
+                f"scratch oracle: {sweep.incremental_divergences()}"
+            )
+        if sweep.soundness_disagreements():
+            failures.append(
+                f"{family}({size}): abstract verdicts disagree under failures: "
+                f"{sweep.soundness_disagreements()}"
+            )
     return failures
 
 
 # ----------------------------------------------------------------------
 # Driver
 # ----------------------------------------------------------------------
-STAGES = ("srp_solve", "bdd_ops", "refinement", "compress", "verify", "pipeline")
+STAGES = (
+    "srp_solve",
+    "bdd_ops",
+    "refinement",
+    "compress",
+    "verify",
+    "pipeline",
+    "failure_sweep",
+)
 
 
-def run_benchmark(quick: bool, repeat: int) -> Dict[str, float]:
+def run_benchmark(quick: bool, repeat: int):
+    """Returns ``(stages, extras)``: per-stage seconds plus non-time metrics."""
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
     bdd_vars = QUICK_BDD_VARS if quick else FULL_BDD_VARS
+    failure_workloads = QUICK_FAILURE_WORKLOADS if quick else FULL_FAILURE_WORKLOADS
     fattree_only = [(f, s) for f, s in workloads if f == "fattree"]
 
     def best(fn, *args) -> float:
@@ -234,7 +314,15 @@ def run_benchmark(quick: bool, repeat: int) -> Dict[str, float]:
     stages["pipeline_fattree"] = best(stage_compress, fattree_only) + best(
         stage_verify, fattree_only
     )
-    return stages
+    failure_runs = [stage_failure_sweep(failure_workloads) for _ in range(repeat)]
+    stages["failure_sweep"] = min(seconds for seconds, _ in failure_runs)
+    speedups = [speedup for _, speedup in failure_runs if speedup]
+    extras = {
+        # min(), like the timing stages: scheduler noise in a scratch arm
+        # must not be able to manufacture the headline speedup.
+        "failure_incremental_speedup": min(speedups) if speedups else None,
+    }
+    return stages, extras
 
 
 def compare_to_baseline(
@@ -295,14 +383,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     mode = "quick" if args.quick else "full"
     print(f"hot-path benchmark ({mode}, repeat={args.repeat})")
-    stages = run_benchmark(args.quick, args.repeat)
+    stages, extras = run_benchmark(args.quick, args.repeat)
     for name in sorted(stages):
         print(f"  {name:18s} {stages[name]:8.3f}s")
+    speedup = extras.get("failure_incremental_speedup")
+    if speedup is not None:
+        print(f"  failure-sweep incremental re-solve speedup: {speedup:.2f}x")
 
     status = 0
     if args.check:
         workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
-        failures = run_checks(workloads)
+        failure_workloads = (
+            QUICK_FAILURE_WORKLOADS if args.quick else FULL_FAILURE_WORKLOADS
+        )
+        failures = run_checks(workloads, failure_workloads)
         if failures:
             status = 1
             for failure in failures:
@@ -327,6 +421,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "mode": mode,
             "repeat": args.repeat,
             "stages": stages,
+            **extras,
         }
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

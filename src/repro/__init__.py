@@ -38,6 +38,14 @@ from repro.analysis import (
     verify_with_abstraction,
 )
 from repro.config import Network, Prefix, parse_network
+from repro.failures import (
+    FailureReport,
+    FailureScenario,
+    FailureSweep,
+    enumerate_link_failures,
+    incremental_resolve,
+    sweep_network,
+)
 from repro.netgen import (
     datacenter_network,
     fattree_network,
@@ -85,6 +93,12 @@ __all__ = [
     "Network",
     "Prefix",
     "parse_network",
+    "FailureScenario",
+    "FailureSweep",
+    "FailureReport",
+    "enumerate_link_failures",
+    "incremental_resolve",
+    "sweep_network",
     "datacenter_network",
     "fattree_network",
     "full_mesh_network",

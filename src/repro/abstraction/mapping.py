@@ -163,6 +163,39 @@ class NetworkAbstraction:
             buckets.setdefault(name, set()).add(node)
         return [frozenset(members) for members in buckets.values()]
 
+    def edge_preimages(
+        self, concrete_graph: Graph
+    ) -> Dict[FrozenSet[str], FrozenSet[Tuple[Node, Node]]]:
+        """Concrete undirected links grouped by their abstract image.
+
+        Maps ``frozenset({f(u), f(v)})`` to the set of concrete links
+        (as name-sorted pairs) whose endpoints map onto it; links internal
+        to one group appear under the singleton ``frozenset({f(u)})``.
+        The failure-soundness checker uses this to decide whether a failed
+        link's whole preimage fails with it; the result is memoised per
+        (graph identity, mutation version), so querying a different graph
+        -- or the same graph after an in-place edge removal -- recomputes
+        instead of serving stale preimages.
+        """
+        cached = getattr(self, "_edge_preimage_cache", None)
+        if (
+            cached is not None
+            and cached[0] is concrete_graph
+            and cached[1] == concrete_graph.version
+        ):
+            return cached[2]
+        buckets: Dict[FrozenSet[str], Set[Tuple[Node, Node]]] = {}
+        for u, v in concrete_graph.edges:
+            su, sv = str(u), str(v)
+            link = (su, sv) if su <= sv else (sv, su)
+            image = frozenset({self.node_map[u], self.node_map[v]})
+            buckets.setdefault(image, set()).add(link)
+        preimages = {
+            image: frozenset(links) for image, links in buckets.items()
+        }
+        self._edge_preimage_cache = (concrete_graph, concrete_graph.version, preimages)
+        return preimages
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"NetworkAbstraction(abstract_nodes={self.num_abstract_nodes()}, "

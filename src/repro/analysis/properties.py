@@ -290,6 +290,22 @@ def check_routing_loop(
     return PropertyResult(False, None, "no forwarding loop")
 
 
+def failure_witness(
+    spec: "PropertySpec", context: "PropertyContext", node: Node
+) -> Optional[Dict[str, object]]:
+    """The structured counterexample for ``spec`` failing at ``node``.
+
+    Returns ``None`` when the property holds (or the evaluator produced no
+    witness).  The failure sweep uses this to attach one piece of concrete
+    evidence -- the offending path or cycle -- to every property a
+    scenario newly breaks, without keeping full per-node results around.
+    """
+    result = spec.evaluate(context, node)
+    if result.holds or result.counterexample is None:
+        return None
+    return result.counterexample.to_dict()
+
+
 def reachable_sources(table: ForwardingTable) -> Set[Node]:
     """All nodes whose traffic reaches the destination."""
     return {node for node in table.next_hops if table.reachable(node)}

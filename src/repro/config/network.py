@@ -113,19 +113,22 @@ class Network:
         than re-deriving the values (which walks every clause), but not
         free on very large configurations.
         """
-        fingerprint = tuple(
-            (
-                name,
-                tuple(
-                    (peer, neighbor.import_policy)
-                    for peer, neighbor in device.bgp_neighbors.items()
-                ),
-                tuple(
-                    (rm_name, route_map.clauses)
-                    for rm_name, route_map in device.route_maps.items()
-                ),
-            )
-            for name, device in self.devices.items()
+        fingerprint = (
+            self._topology_stamp(),
+            tuple(
+                (
+                    name,
+                    tuple(
+                        (peer, neighbor.import_policy)
+                        for peer, neighbor in device.bgp_neighbors.items()
+                    ),
+                    tuple(
+                        (rm_name, route_map.clauses)
+                        for rm_name, route_map in device.route_maps.items()
+                    ),
+                )
+                for name, device in self.devices.items()
+            ),
         )
         cached = getattr(self, "_lp_cache", None)
         if cached is not None and cached[0] == fingerprint:
@@ -137,6 +140,18 @@ class Network:
         self._lp_cache = (fingerprint, values)
         return values
 
+    def _topology_stamp(self) -> Tuple[int, int, int]:
+        """A cheap topology component for the memo fingerprints.
+
+        The graph's mutation counter (plus the sizes, which also guard
+        against a caller swapping in a *different* graph object) makes
+        removing an edge or node -- a failure scenario applied by mutation
+        rather than through the non-mutating views in
+        :mod:`repro.failures.scenario` -- invalidate the memoised
+        whole-network views instead of serving stale entries.
+        """
+        return (self.graph.version, self.graph.num_nodes(), self.graph.num_edges())
+
     # ------------------------------------------------------------------
     # Destination equivalence classes (§5.1)
     # ------------------------------------------------------------------
@@ -145,17 +160,21 @@ class Network:
 
         The memoised :meth:`destination_equivalence_classes` is invalidated
         by comparing fingerprints, so mutating a device's originations or
-        static routes transparently recomputes the classes while repeated
-        calls on an unchanged network (one per class task, per solver
-        invocation, ...) are free.
+        static routes -- or the topology itself (removing an edge bumps the
+        graph's mutation counter) -- transparently recomputes the classes
+        while repeated calls on an unchanged network (one per class task,
+        per solver invocation, ...) are free.
         """
-        return tuple(
-            (
-                name,
-                tuple(device.originated_prefixes),
-                tuple(static.prefix for static in device.static_routes),
-            )
-            for name, device in self.devices.items()
+        return (
+            self._topology_stamp(),
+            tuple(
+                (
+                    name,
+                    tuple(device.originated_prefixes),
+                    tuple(static.prefix for static in device.static_routes),
+                )
+                for name, device in self.devices.items()
+            ),
         )
 
     def destination_trie(self) -> PrefixTrie:

@@ -276,13 +276,31 @@ class NetworkTransfer:
     #: Sentinel for memoised "route map dropped the announcement".
     _DROPPED = object()
 
+    #: Bound on the route-map evaluation memo.  One destination's solve
+    #: sees a bounded announcement universe, but failure sweeps drive one
+    #: transfer through thousands of scenario re-solves; on overflow the
+    #: memo is cleared wholesale (the ``BddManager.ite`` precedent --
+    #: correctness is unaffected, only hit rates).
+    EVAL_CACHE_LIMIT = 100_000
+
     def __getstate__(self):
         state = self.__dict__.copy()
-        state.pop("_eval_cache", None)
+        for transient in ("_eval_cache", "_eval_hits", "_eval_misses", "_eval_overflows"):
+            state.pop(transient, None)
         return state
 
+    def eval_cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the route-map evaluation memo."""
+        return {
+            "size": len(self.__dict__.get("_eval_cache") or ()),
+            "limit": self.EVAL_CACHE_LIMIT,
+            "hits": self.__dict__.get("_eval_hits", 0),
+            "misses": self.__dict__.get("_eval_misses", 0),
+            "overflows": self.__dict__.get("_eval_overflows", 0),
+        }
+
     def _evaluate_cached(self, route_map, device, attribute, tag: str):
-        """Memoised :func:`evaluate_route_map`.
+        """Memoised :func:`evaluate_route_map` (bounded, clear-on-overflow).
 
         Route maps are pure functions of (map, device lists, announcement,
         destination); the destination is fixed per transfer instance and
@@ -290,9 +308,13 @@ class NetworkTransfer:
         identity, so the same announcement traversing the same policy on
         several parallel edges is evaluated once.
         """
-        cache = self.__dict__.get("_eval_cache")
+        state = self.__dict__
+        cache = state.get("_eval_cache")
         if cache is None:
-            cache = self.__dict__["_eval_cache"] = {}
+            cache = state["_eval_cache"] = {}
+            state.setdefault("_eval_hits", 0)
+            state.setdefault("_eval_misses", 0)
+            state.setdefault("_eval_overflows", 0)
         key = (tag, id(route_map), device.name, attribute)
         try:
             result = cache[key]
@@ -304,10 +326,15 @@ class NetworkTransfer:
                 device.prefix_lists,
                 device.asn or device.name,
             )
+            state["_eval_misses"] += 1
+            if len(cache) >= self.EVAL_CACHE_LIMIT:
+                cache.clear()
+                state["_eval_overflows"] += 1
             cache[key] = self._DROPPED if result is None else result
             return result
         except TypeError:
             return evaluate_route_map(route_map, device, attribute, self.destination)
+        state["_eval_hits"] += 1
         return None if result is self._DROPPED else result
 
     def __call__(

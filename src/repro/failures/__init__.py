@@ -1,0 +1,65 @@
+"""Failure-scenario analysis: k-failure sweeps over compressed networks.
+
+The fourth pillar of the system next to compression, verification and the
+hot-path engine: model link/node failures as first-class scenarios,
+re-solve the failed control plane *incrementally* from the failure-free
+baseline, and check -- per scenario -- whether Bonsai's abstraction is
+still sound once the topology loses edges (the paper's stated
+limitation).
+"""
+
+from repro.failures.incremental import (
+    IncrementalSolve,
+    incremental_resolve,
+    tainted_nodes,
+)
+from repro.failures.scenario import (
+    FailureScenario,
+    ScenarioError,
+    canonical_link,
+    enumerate_link_failures,
+    link_scenario,
+    node_scenario,
+    points_of_interest,
+    sample_link_failures,
+    scenarios_for,
+    undirected_links,
+)
+from repro.failures.soundness import (
+    SoundnessOutcome,
+    abstract_scenario_for,
+    check_scenario_soundness,
+)
+from repro.failures.sweep import (
+    ClassFailureRecord,
+    FailureReport,
+    FailureSweep,
+    ScenarioOutcome,
+    failure_class_task,
+    sweep_network,
+)
+
+__all__ = [
+    "FailureScenario",
+    "ScenarioError",
+    "canonical_link",
+    "enumerate_link_failures",
+    "sample_link_failures",
+    "scenarios_for",
+    "link_scenario",
+    "node_scenario",
+    "points_of_interest",
+    "undirected_links",
+    "IncrementalSolve",
+    "incremental_resolve",
+    "tainted_nodes",
+    "SoundnessOutcome",
+    "abstract_scenario_for",
+    "check_scenario_soundness",
+    "FailureSweep",
+    "FailureReport",
+    "ClassFailureRecord",
+    "ScenarioOutcome",
+    "failure_class_task",
+    "sweep_network",
+]

@@ -1,0 +1,337 @@
+"""Abstraction soundness under failures (§ the paper's key limitation).
+
+Bonsai's CP-equivalence theorem is proved for the failure-free control
+plane.  Under a failure scenario the baseline ⟨topology, policy⟩
+abstraction remains faithful only when the *abstract network can express
+the scenario at all*: failing a concrete element must correspond to
+failing a whole abstract element.
+
+* a failed concrete **link** ``{u, v}`` is representable iff *every*
+  concrete link mapping onto the abstract link ``{f(u), f(v)}`` also
+  fails -- if a sibling survives, the abstract edge must stay up and the
+  abstract network silently keeps connectivity the concrete one lost
+  (the paper's "a concrete edge fails but its abstract edge survives");
+  a link *inside* one abstraction group has no abstract image and is
+  never representable;
+* a failed concrete **node** is representable iff its whole abstraction
+  group fails.
+
+When every failed element is representable, deleting exactly the image
+elements from the abstract network removes whole preimage classes, so
+the ∀∃-refinement conditions of the surviving topology are untouched and
+the baseline abstraction is still an effective abstraction of the failed
+network -- that is the structural fact behind the per-scenario
+``sound_under_failure`` flag.  When it is not, the checker falls back to
+*re-compressing the failed network from scratch* (reusing the baseline's
+policy-BDD encoder, so no re-encoding cost) and verifies against that
+fresh abstraction instead.
+
+Either way the checker finishes with a differential verdict comparison --
+abstract verdicts lifted through the mapping must equal the concrete
+ones -- so a structural misjudgement would surface as ``agrees=False``
+rather than pass silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.abstraction.bonsai import Bonsai, CompressionResult
+from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
+from repro.abstraction.mapping import NetworkAbstraction
+from repro.analysis.dataplane import compute_forwarding_table
+from repro.analysis.properties import PropertyContext, PropertySpec
+from repro.config.network import Network
+from repro.config.transfer import VIRTUAL_DESTINATION
+from repro.failures.scenario import FailureScenario, canonical_link
+
+#: ``{property: {concrete node: holds}}`` -- the wire form the sweep and
+#: this checker exchange verdicts in.
+VerdictMap = Dict[str, Dict[str, bool]]
+
+
+@dataclass
+class SoundnessOutcome:
+    """What the soundness checker concluded for one (class, scenario)."""
+
+    #: Structural verdict: the baseline abstraction can express the
+    #: scenario (whole preimages fail together).
+    sound_under_failure: bool
+    #: Why not, when it cannot ("" when it can).
+    reason: str = ""
+    #: The scenario mapped onto abstract names (``None`` when not
+    #: representable).
+    abstract_scenario: Optional[FailureScenario] = None
+    #: Whether the comparison ran against a fresh per-scenario
+    #: re-compression of the failed network instead of the baseline
+    #: abstraction.
+    recompressed: bool = False
+    #: Differential result: lifted abstract verdicts equal concrete ones.
+    agrees: Optional[bool] = None
+    #: ``{property: [nodes]}`` where they do not.
+    mismatched: Dict[str, List[str]] = field(default_factory=dict)
+    #: Abstract node count of whichever abstraction was compared against.
+    abstract_nodes: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sound_under_failure": self.sound_under_failure,
+            "reason": self.reason,
+            "abstract_scenario": (
+                None
+                if self.abstract_scenario is None
+                else self.abstract_scenario.to_dict()
+            ),
+            "recompressed": self.recompressed,
+            "agrees": self.agrees,
+            "mismatched": dict(self.mismatched),
+            "abstract_nodes": self.abstract_nodes,
+        }
+
+
+# ----------------------------------------------------------------------
+# Structural representability
+# ----------------------------------------------------------------------
+def abstract_scenario_for(
+    abstraction: NetworkAbstraction,
+    network: Network,
+    scenario: FailureScenario,
+) -> Tuple[Optional[FailureScenario], str]:
+    """Map a concrete scenario through ``f``, or say why that is impossible.
+
+    Returns ``(abstract scenario, "")`` when every failed element's whole
+    preimage fails, and ``(None, reason)`` otherwise.
+    """
+    node_map = abstraction.node_map
+    # The effective set of failed undirected links: explicit link failures
+    # plus every link incident to a failed node.
+    failed_links = set(scenario.links)
+    for node in scenario.nodes:
+        if network.graph.has_node(node):
+            for neighbour in network.graph.successors(node):
+                failed_links.add(canonical_link(node, neighbour))
+            for neighbour in network.graph.predecessors(node):
+                failed_links.add(canonical_link(neighbour, node))
+
+    failed_groups: set = set()
+    for node in scenario.nodes:
+        base = node_map.get(node)
+        if base is None:
+            return None, f"failed node {node!r} is outside the abstraction"
+        members = abstraction.concrete_nodes(base) - {VIRTUAL_DESTINATION}
+        missing = members - scenario.nodes
+        if missing:
+            return (
+                None,
+                f"node {node!r} fails but its abstraction group "
+                f"{base!r} survives via {sorted(map(str, missing))}",
+            )
+        failed_groups.add(base)
+
+    abstract_links: set = set()
+    preimages = abstraction.edge_preimages(network.graph)
+    for u, v in sorted(scenario.links):
+        fu = node_map.get(u)
+        fv = node_map.get(v)
+        if fu is None or fv is None:
+            return None, f"failed link {u}|{v} is outside the abstraction"
+        if fu == fv:
+            return (
+                None,
+                f"link {u}|{v} is internal to abstraction group {fu!r} "
+                "and has no abstract image",
+            )
+        # Every sibling link mapping onto the same abstract edge must fail.
+        siblings = preimages.get(frozenset({fu, fv}), frozenset())
+        surviving_siblings = siblings - failed_links
+        if surviving_siblings:
+            x, y = min(surviving_siblings)
+            return (
+                None,
+                f"link {u}|{v} fails but its abstract edge "
+                f"{fu}|{fv} survives via sibling {x}|{y}",
+            )
+        if fu in failed_groups or fv in failed_groups:
+            continue  # covered by the abstract node failure
+        for cu in abstraction.copies_of(fu):
+            for cv in abstraction.copies_of(fv):
+                abstract_links.add(canonical_link(cu, cv))
+
+    abstract_nodes: set = set()
+    for base in failed_groups:
+        abstract_nodes.update(abstraction.copies_of(base))
+
+    return (
+        FailureScenario(
+            links=frozenset(abstract_links),
+            nodes=frozenset(abstract_nodes),
+            name=f"f({scenario.name})",
+        ),
+        "",
+    )
+
+
+# ----------------------------------------------------------------------
+# Differential verdict comparison
+# ----------------------------------------------------------------------
+def lifted_abstract_verdicts(
+    abstraction: NetworkAbstraction,
+    abstract_network: Network,
+    equivalence_class: EquivalenceClass,
+    specs: List[PropertySpec],
+    concrete_nodes: List[str],
+    waypoints: FrozenSet[str],
+    path_bound: int,
+) -> VerdictMap:
+    """Evaluate the suite on an abstract network and lift the verdicts.
+
+    The abstract forwarding table is simulated from scratch (abstract
+    networks are small -- that is the whole point); each concrete node's
+    verdict is the ``any``/``all`` combination over its abstract copies,
+    exactly as in the batch verifier.
+    """
+    abstract_ec = next(
+        (
+            candidate
+            for candidate in routable_equivalence_classes(abstract_network)
+            if candidate.prefix.overlaps(equivalence_class.prefix)
+        ),
+        None,
+    )
+    abstract_nodes = sorted(abstract_network.graph.nodes, key=str)
+    if abstract_ec is None:
+        # The failure disconnected every abstract origin: nothing routes.
+        return {
+            spec.name: {name: False for name in concrete_nodes} for spec in specs
+        }
+    table = compute_forwarding_table(abstract_network, abstract_ec)
+    lifted_waypoints = set()
+    for waypoint in waypoints:
+        if waypoint in abstraction.node_map:
+            for copy in abstraction.copies_of(abstraction.f(waypoint)):
+                lifted_waypoints.add(copy)
+    context = PropertyContext(
+        table=table, waypoints=frozenset(lifted_waypoints), path_bound=path_bound
+    )
+    by_abstract: Dict[Tuple[str, str], bool] = {}
+    for spec in specs:
+        for node in abstract_nodes:
+            by_abstract[(spec.name, node)] = spec.evaluate(context, node).holds
+
+    present = set(abstract_network.graph.nodes)
+    verdicts: VerdictMap = {}
+    for spec in specs:
+        per_node: Dict[str, bool] = {}
+        for name in concrete_nodes:
+            copies = [
+                copy
+                for copy in abstraction.copies_of(abstraction.f(name))
+                if copy in present
+            ]
+            if not copies:
+                per_node[name] = False
+                continue
+            results = [by_abstract[(spec.name, copy)] for copy in copies]
+            per_node[name] = any(results) if spec.lift == "any" else all(results)
+        verdicts[spec.name] = per_node
+    return verdicts
+
+
+def compare_verdicts(
+    concrete: VerdictMap, lifted: VerdictMap
+) -> Dict[str, List[str]]:
+    """``{property: [nodes]}`` where lifted and concrete verdicts differ."""
+    mismatched: Dict[str, List[str]] = {}
+    for name, per_node in concrete.items():
+        bad = [
+            node
+            for node, holds in sorted(per_node.items())
+            if lifted.get(name, {}).get(node) is not None
+            and lifted[name][node] != holds
+        ]
+        if bad:
+            mismatched[name] = bad
+    return mismatched
+
+
+# ----------------------------------------------------------------------
+# The checker
+# ----------------------------------------------------------------------
+def check_scenario_soundness(
+    bonsai: Bonsai,
+    baseline: CompressionResult,
+    scenario: FailureScenario,
+    failed_network: Network,
+    failed_ec: EquivalenceClass,
+    concrete_verdicts: VerdictMap,
+    specs: List[PropertySpec],
+    waypoints: FrozenSet[str],
+    path_bound: int,
+    recompress_fallback: bool = True,
+) -> SoundnessOutcome:
+    """Judge whether the baseline abstraction survives one scenario.
+
+    ``concrete_verdicts`` are the per-node property verdicts already
+    computed on the failed *concrete* network (by the sweep's incremental
+    re-solve); the checker only produces the abstract side and compares.
+    """
+    abstraction = baseline.abstraction
+    mapped, reason = abstract_scenario_for(abstraction, bonsai.network, scenario)
+    surviving = sorted(
+        (str(n) for n in failed_network.graph.nodes), key=str
+    )
+
+    if mapped is not None and baseline.abstract_network is not None:
+        failed_abstract = mapped.apply_loose(baseline.abstract_network)
+        lifted = lifted_abstract_verdicts(
+            abstraction,
+            failed_abstract,
+            failed_ec,
+            specs,
+            surviving,
+            waypoints,
+            path_bound,
+        )
+        mismatched = compare_verdicts(concrete_verdicts, lifted)
+        return SoundnessOutcome(
+            sound_under_failure=True,
+            abstract_scenario=mapped,
+            recompressed=False,
+            agrees=not mismatched,
+            mismatched=mismatched,
+            abstract_nodes=failed_abstract.graph.num_nodes(),
+        )
+
+    if not recompress_fallback:
+        return SoundnessOutcome(sound_under_failure=False, reason=reason)
+
+    # Fallback: compress the failed network from scratch.  The baseline's
+    # policy-BDD encoder is reused (device configurations are shared by
+    # the failure view, so every per-edge BDD is already encoded); only
+    # refinement and abstract-network emission run per scenario.
+    fallback = Bonsai(
+        failed_network,
+        use_bdds=bonsai.use_bdds,
+        encoder=bonsai.encoder if bonsai.use_bdds else None,
+    )
+    result = fallback.compress(failed_ec, build_network=True)
+    lifted = lifted_abstract_verdicts(
+        result.abstraction,
+        result.abstract_network,
+        failed_ec,
+        specs,
+        surviving,
+        waypoints,
+        path_bound,
+    )
+    mismatched = compare_verdicts(concrete_verdicts, lifted)
+    return SoundnessOutcome(
+        sound_under_failure=False,
+        reason=reason,
+        abstract_scenario=None,
+        recompressed=True,
+        agrees=not mismatched,
+        mismatched=mismatched,
+        abstract_nodes=result.abstract_nodes,
+    )

@@ -1,0 +1,742 @@
+"""Failure sweeps: scenarios x equivalence classes through the pipeline.
+
+:class:`FailureSweep` is the driver that makes failure analysis a batch
+workload like compression and verification before it: enumerate (or
+sample) the scenarios once, then fan the per-class work out through the
+generic :class:`~repro.pipeline.core.ClassFanOut` engine as the
+``"failures"`` task.  Each task invocation handles *all* scenarios of one
+destination equivalence class, because that is where the reuse lives --
+the baseline is solved once, its labeling and transfer memo seed every
+scenario's incremental re-solve, and one baseline compression serves
+every scenario's soundness check.
+
+Per (class, scenario) the task records:
+
+* the **incremental re-solve** outcome -- label-for-label agreement with
+  the scratch oracle (when ``oracle`` is on), the taint/dirty set sizes,
+  and both wall-clock times (the report's headline incremental-vs-scratch
+  speedup);
+* the **verdict delta vs. the failure-free baseline** for every suite
+  property (which nodes newly fail, which newly pass);
+* the **abstraction-soundness outcome** (:mod:`repro.failures.soundness`):
+  whether the baseline Bonsai abstraction can represent the scenario
+  (``sound_under_failure``), and the differential abstract-vs-concrete
+  comparison against either the mapped abstract failure or a per-scenario
+  re-compression.
+
+The aggregated :class:`FailureReport` is JSON-serialisable and consumed
+by ``python -m repro.pipeline --failures``, the failure-sweep benchmark
+stage and the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.abstraction.ec import EquivalenceClass
+from repro.analysis.batch import PropertySuite
+from repro.analysis.dataplane import (
+    ForwardingTable,
+    forwarding_table_from_solution,
+)
+from repro.analysis.properties import PropertyContext, failure_witness
+from repro.config.network import Network
+from repro.config.transfer import build_srp_from_network
+from repro.failures.incremental import (
+    BaselineIndex,
+    divergent_nodes,
+    incremental_resolve,
+)
+from repro.failures.scenario import FailureScenario, scenarios_for
+from repro.failures.soundness import check_scenario_soundness
+from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
+from repro.pipeline.encoded import EncodedNetwork
+from repro.srp.solver import TransferCache, solve
+
+#: Format version of the JSON failure reports.
+FAILURE_REPORT_VERSION = 1
+
+#: ``{property: {node: holds}}``.
+VerdictMap = Dict[str, Dict[str, bool]]
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclass
+class ScenarioOutcome:
+    """Everything recorded for one (equivalence class, scenario) pair."""
+
+    scenario: str
+    failed_links: List[str] = field(default_factory=list)
+    failed_nodes: List[str] = field(default_factory=list)
+    #: Every origin of the class failed: nothing can route, nothing is
+    #: solved, and every property trivially fails on every surviving node.
+    unroutable: bool = False
+    #: Whether the seeded incremental path produced the solution (False
+    #: when the origin set changed, the seed could not converge, or the
+    #: scenario was unroutable).
+    incremental_used: bool = False
+    #: Incremental labeling is identical to the scratch oracle's (``None``
+    #: when the oracle was skipped or incremental did not run).
+    incremental_matches_scratch: Optional[bool] = None
+    divergent: List[str] = field(default_factory=list)
+    incremental_seconds: float = 0.0
+    scratch_seconds: float = 0.0
+    tainted: int = 0
+    dirty: int = 0
+    #: Structural soundness flag (``None`` when soundness checking was
+    #: off or the scenario was unroutable).
+    sound_under_failure: Optional[bool] = None
+    #: Full :class:`~repro.failures.soundness.SoundnessOutcome` wire form.
+    soundness: Optional[Dict] = None
+    #: Per-property verdict delta vs. the failure-free baseline, over the
+    #: surviving nodes.
+    newly_failing: Dict[str, List[str]] = field(default_factory=dict)
+    newly_passing: Dict[str, List[str]] = field(default_factory=dict)
+    #: One structured counterexample (offending path/cycle) per newly
+    #: broken property, from its first failing node.
+    witnesses: Dict[str, Dict] = field(default_factory=dict)
+
+    def abstract_agrees(self) -> Optional[bool]:
+        if self.soundness is None:
+            return None
+        return self.soundness.get("agrees")
+
+    def canonical(self) -> Tuple:
+        """Timing-free outcome, for executor-parity comparisons."""
+        return (
+            self.scenario,
+            self.unroutable,
+            self.incremental_matches_scratch,
+            self.sound_under_failure,
+            self.abstract_agrees(),
+            tuple(sorted((k, tuple(v)) for k, v in self.newly_failing.items())),
+            tuple(sorted((k, tuple(v)) for k, v in self.newly_passing.items())),
+        )
+
+
+@dataclass
+class ClassFailureRecord:
+    """All scenario outcomes for one destination equivalence class."""
+
+    prefix: str
+    origins: List[str]
+    baseline_seconds: float
+    compression_seconds: float
+    baseline_failing: Dict[str, List[str]] = field(default_factory=dict)
+    scenarios: List[ScenarioOutcome] = field(default_factory=list)
+
+    def canonical(self) -> Tuple:
+        return (
+            self.prefix,
+            tuple(self.origins),
+            tuple(sorted((k, tuple(v)) for k, v in self.baseline_failing.items())),
+            tuple(outcome.canonical() for outcome in self.scenarios),
+        )
+
+
+@dataclass
+class FailureReport:
+    """Run-level aggregation of a failure sweep."""
+
+    network_name: str
+    executor: str
+    workers: int
+    k: int
+    num_classes: int
+    num_scenarios: int
+    properties: List[str]
+    path_bound: Optional[int]
+    oracle: bool
+    soundness: bool
+    encode_seconds: float
+    total_seconds: float
+    scenario_names: List[str] = field(default_factory=list)
+    records: List[ClassFailureRecord] = field(default_factory=list)
+    version: int = FAILURE_REPORT_VERSION
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _outcomes(self):
+        for record in self.records:
+            for outcome in record.scenarios:
+                yield record, outcome
+
+    @property
+    def incremental_seconds(self) -> float:
+        return sum(o.incremental_seconds for _, o in self._outcomes())
+
+    @property
+    def scratch_seconds(self) -> float:
+        return sum(o.scratch_seconds for _, o in self._outcomes())
+
+    @property
+    def incremental_speedup(self) -> Optional[float]:
+        """Scratch-vs-incremental wall-clock ratio over compared scenarios."""
+        inc = sum(
+            o.incremental_seconds
+            for _, o in self._outcomes()
+            if o.incremental_used and o.scratch_seconds > 0
+        )
+        scratch = sum(
+            o.scratch_seconds
+            for _, o in self._outcomes()
+            if o.incremental_used and o.scratch_seconds > 0
+        )
+        if inc <= 0 or scratch <= 0:
+            return None
+        return scratch / inc
+
+    def incremental_all_match(self) -> bool:
+        """Every compared scenario re-solved bit-identically to scratch."""
+        return all(
+            o.incremental_matches_scratch is not False for _, o in self._outcomes()
+        )
+
+    def incremental_divergences(self) -> List[Tuple[str, str, List[str]]]:
+        return [
+            (record.prefix, outcome.scenario, list(outcome.divergent))
+            for record, outcome in self._outcomes()
+            if outcome.incremental_matches_scratch is False
+        ]
+
+    def soundness_counts(self) -> Dict[str, int]:
+        """How scenarios fared against the abstraction, summed over classes."""
+        counts = {"checked": 0, "sound": 0, "recompressed": 0, "disagreed": 0}
+        for _, outcome in self._outcomes():
+            if outcome.sound_under_failure is None:
+                continue
+            counts["checked"] += 1
+            if outcome.sound_under_failure:
+                counts["sound"] += 1
+            if outcome.soundness and outcome.soundness.get("recompressed"):
+                counts["recompressed"] += 1
+            if outcome.abstract_agrees() is False:
+                counts["disagreed"] += 1
+        return counts
+
+    def soundness_disagreements(self) -> List[Tuple[str, str, Dict]]:
+        return [
+            (record.prefix, outcome.scenario, dict(outcome.soundness or {}))
+            for record, outcome in self._outcomes()
+            if outcome.abstract_agrees() is False
+        ]
+
+    def first_failing_scenario(self) -> Dict[str, Optional[str]]:
+        """Per property: the first scenario (sweep order) breaking it anywhere."""
+        order = {name: index for index, name in enumerate(self.scenario_names)}
+        first: Dict[str, Optional[str]] = {name: None for name in self.properties}
+        for _, outcome in self._outcomes():
+            for prop, nodes in outcome.newly_failing.items():
+                if not nodes:
+                    continue
+                current = first.get(prop)
+                if current is None or order.get(outcome.scenario, 1 << 30) < order.get(
+                    current, 1 << 30
+                ):
+                    first[prop] = outcome.scenario
+        return first
+
+    def property_failure_counts(self) -> Dict[str, int]:
+        """Per property: how many (class, scenario) pairs newly fail it."""
+        counts = {name: 0 for name in self.properties}
+        for _, outcome in self._outcomes():
+            for prop, nodes in outcome.newly_failing.items():
+                if nodes:
+                    counts[prop] = counts.get(prop, 0) + 1
+        return counts
+
+    def ok(self) -> bool:
+        """The sweep-level gate: no divergence, no soundness disagreement."""
+        return (
+            self.incremental_all_match()
+            and not self.soundness_disagreements()
+        )
+
+    def canonical_records(self) -> Tuple[Tuple, ...]:
+        return tuple(
+            record.canonical()
+            for record in sorted(self.records, key=lambda r: r.prefix)
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["aggregate"] = {
+            "incremental_seconds": self.incremental_seconds,
+            "scratch_seconds": self.scratch_seconds,
+            "incremental_speedup": self.incremental_speedup,
+            "incremental_all_match": self.incremental_all_match(),
+            "soundness": self.soundness_counts(),
+            "first_failing_scenario": self.first_failing_scenario(),
+            "property_failure_counts": self.property_failure_counts(),
+        }
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FailureReport":
+        payload = dict(data)
+        payload.pop("aggregate", None)
+        records = []
+        for raw in payload.pop("records", []):
+            raw = dict(raw)
+            outcomes = [
+                ScenarioOutcome(**outcome) for outcome in raw.pop("scenarios", [])
+            ]
+            records.append(ClassFailureRecord(scenarios=outcomes, **raw))
+        return cls(records=records, **payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FailureReport":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"network: {self.network_name}",
+            f"executor: {self.executor} (workers={self.workers})",
+            f"scenarios: {self.num_scenarios} (k={self.k}) "
+            f"x {self.num_classes} classes",
+            f"properties: {', '.join(self.properties)}",
+        ]
+        if self.oracle:
+            speedup = self.incremental_speedup
+            lines.append(
+                f"incremental re-solve: {self.incremental_seconds:.3f}s vs "
+                f"scratch {self.scratch_seconds:.3f}s"
+                + (f" ({speedup:.2f}x)" if speedup is not None else "")
+            )
+            lines.append(
+                "incremental labelings IDENTICAL to the scratch oracle"
+                if self.incremental_all_match()
+                else f"INCREMENTAL DIVERGED: {self.incremental_divergences()}"
+            )
+        if self.soundness:
+            counts = self.soundness_counts()
+            lines.append(
+                f"abstraction soundness: {counts['sound']}/{counts['checked']} "
+                f"scenarios representable by the baseline abstraction, "
+                f"{counts['recompressed']} re-compressed, "
+                f"{counts['disagreed']} verdict disagreements"
+            )
+        first = self.first_failing_scenario()
+        for prop in self.properties:
+            scenario = first.get(prop)
+            lines.append(
+                f"  {prop}: "
+                + ("survives every scenario" if scenario is None else f"first broken by {scenario}")
+            )
+        return lines
+
+
+# ----------------------------------------------------------------------
+# The per-class "failures" task (runs inside pipeline workers)
+# ----------------------------------------------------------------------
+def _evaluate_suite(specs, table: ForwardingTable, nodes, waypoints, path_bound) -> VerdictMap:
+    context = PropertyContext(
+        table=table, waypoints=frozenset(waypoints), path_bound=path_bound
+    )
+    return {
+        spec.name: {str(node): spec.evaluate(context, node).holds for node in nodes}
+        for spec in specs
+    }
+
+
+def _verdict_delta(
+    baseline: VerdictMap, current: VerdictMap, nodes
+) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+    newly_failing: Dict[str, List[str]] = {}
+    newly_passing: Dict[str, List[str]] = {}
+    for prop, per_node in current.items():
+        base = baseline.get(prop, {})
+        failing = [n for n in nodes if base.get(n, True) and not per_node[n]]
+        passing = [n for n in nodes if not base.get(n, True) and per_node[n]]
+        if failing:
+            newly_failing[prop] = failing
+        if passing:
+            newly_passing[prop] = passing
+    return newly_failing, newly_passing
+
+
+def failure_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict):
+    """Run every failure scenario against one equivalence class."""
+    suite = PropertySuite.from_options(options)
+    scenarios = [
+        FailureScenario.from_dict(raw) for raw in options.get("scenarios", [])
+    ]
+    oracle = bool(options.get("oracle", True))
+    soundness_on = bool(options.get("soundness", True))
+    recompress_fallback = bool(options.get("recompress_fallback", True))
+    max_rounds = int(options.get("max_rounds", 1000))
+
+    network: Network = bonsai.network
+    prefix = equivalence_class.prefix
+    origins = set(equivalence_class.origins)
+    specs = suite.specs()
+    nodes = sorted(network.graph.nodes, key=str)
+    node_names = [str(n) for n in nodes]
+    path_bound = (
+        suite.path_bound if suite.path_bound is not None else network.graph.num_nodes()
+    )
+    waypoints = (
+        frozenset(suite.waypoints)
+        if suite.waypoints is not None
+        else frozenset(str(origin) for origin in origins)
+    )
+
+    # -- failure-free baseline -------------------------------------------
+    baseline_start = time.perf_counter()
+    compiled = bonsai.compile_for(prefix)
+    baseline_srp = build_srp_from_network(
+        network, prefix, origins, compiled=compiled, include_syntactic_keys=False
+    )
+    baseline_solution = solve(baseline_srp)
+    baseline_table = forwarding_table_from_solution(
+        network, baseline_solution, equivalence_class
+    )
+    baseline_verdicts = _evaluate_suite(
+        specs, baseline_table, nodes, waypoints, path_bound
+    )
+    baseline_seconds = time.perf_counter() - baseline_start
+
+    compression = None
+    compression_seconds = 0.0
+    if soundness_on:
+        compression = bonsai.compress(equivalence_class, build_network=True)
+        compression_seconds = compression.compression_seconds
+
+    # One bounded transfer memo shared by every scenario's incremental
+    # re-solve, seeded once from the baseline; scratch oracle runs stay
+    # cold on purpose (they are the "what a fresh solve costs" yardstick).
+    # The forwarding index likewise amortises taint queries per class.
+    shared_cache = TransferCache().seeded_from(baseline_solution.transfer_cache)
+    baseline_index = BaselineIndex.from_solution(baseline_solution)
+
+    outcomes: List[ScenarioOutcome] = []
+    for scenario in scenarios:
+        outcomes.append(
+            _run_scenario(
+                bonsai,
+                scenario,
+                network,
+                equivalence_class,
+                compiled,
+                baseline_solution,
+                baseline_verdicts,
+                compression,
+                specs,
+                waypoints,
+                path_bound,
+                node_names,
+                shared_cache,
+                baseline_index,
+                oracle=oracle,
+                soundness_on=soundness_on,
+                recompress_fallback=recompress_fallback,
+                max_rounds=max_rounds,
+            )
+        )
+
+    return ClassFailureRecord(
+        prefix=str(prefix),
+        origins=sorted(str(origin) for origin in origins),
+        baseline_seconds=baseline_seconds,
+        compression_seconds=compression_seconds,
+        baseline_failing={
+            prop: [n for n in node_names if not per_node[n]]
+            for prop, per_node in baseline_verdicts.items()
+        },
+        scenarios=outcomes,
+    )
+
+
+def _run_scenario(
+    bonsai,
+    scenario: FailureScenario,
+    network: Network,
+    equivalence_class: EquivalenceClass,
+    compiled,
+    baseline_solution,
+    baseline_verdicts: VerdictMap,
+    compression,
+    specs,
+    waypoints,
+    path_bound: int,
+    node_names,
+    shared_cache: TransferCache,
+    baseline_index: BaselineIndex,
+    *,
+    oracle: bool,
+    soundness_on: bool,
+    recompress_fallback: bool,
+    max_rounds: int,
+) -> ScenarioOutcome:
+    prefix = equivalence_class.prefix
+    outcome = ScenarioOutcome(
+        scenario=scenario.name,
+        failed_links=[f"{u}|{v}" for u, v in sorted(scenario.links)],
+        failed_nodes=sorted(scenario.nodes),
+    )
+    surviving_origins = {
+        origin
+        for origin in equivalence_class.origins
+        if str(origin) not in scenario.nodes
+    }
+    failed_network = scenario.apply(network)
+    surviving = [n for n in node_names if n not in scenario.nodes]
+
+    if not surviving_origins:
+        # Nothing originates the class any more: no control plane to
+        # solve, and every property trivially fails everywhere.
+        outcome.unroutable = True
+        empty = ForwardingTable(
+            destination=prefix,
+            origins=set(),
+            next_hops={node: set() for node in failed_network.graph.nodes},
+        )
+        verdicts = _evaluate_suite(
+            specs, empty, failed_network.graph.nodes, waypoints, path_bound
+        )
+        outcome.newly_failing, outcome.newly_passing = _verdict_delta(
+            baseline_verdicts, verdicts, surviving
+        )
+        return outcome
+
+    removed = scenario.directed_edges(network.graph)
+    compiled_failed = {
+        edge: info for edge, info in compiled.items() if edge not in removed
+    }
+    failed_ec = EquivalenceClass(
+        prefix=prefix, origins=frozenset(surviving_origins)
+    )
+    origins_changed = surviving_origins != set(equivalence_class.origins)
+
+    def build_failed_srp():
+        return build_srp_from_network(
+            failed_network,
+            prefix,
+            set(surviving_origins),
+            compiled=compiled_failed,
+            include_syntactic_keys=False,
+        )
+
+    scratch_solution = None
+    if oracle or origins_changed:
+        scratch_srp = build_failed_srp()
+        scratch_start = time.perf_counter()
+        scratch_solution = solve(scratch_srp, max_rounds=max_rounds)
+        outcome.scratch_seconds = time.perf_counter() - scratch_start
+
+    if origins_changed:
+        # The SRP's destination structure (virtual node, initial edges)
+        # changed with the origin set; the baseline labeling does not line
+        # up node-for-node, so the scratch result stands.
+        solution = scratch_solution
+    else:
+        incremental_srp = build_failed_srp()
+        result = incremental_resolve(
+            incremental_srp,
+            baseline_solution,
+            removed,
+            frozenset(scenario.nodes),
+            transfer_cache=shared_cache,
+            index=baseline_index,
+            max_rounds=max_rounds,
+        )
+        solution = result.solution
+        outcome.incremental_used = result.incremental_used
+        outcome.incremental_seconds = result.seconds
+        outcome.tainted = len(result.tainted)
+        outcome.dirty = result.dirty_count
+        if scratch_solution is not None:
+            matches = solution.labeling == scratch_solution.labeling
+            outcome.incremental_matches_scratch = matches
+            if not matches:
+                outcome.divergent = [
+                    str(n) for n in divergent_nodes(solution, scratch_solution)
+                ]
+
+    table = forwarding_table_from_solution(failed_network, solution, failed_ec)
+    scenario_waypoints = frozenset(w for w in waypoints if w not in scenario.nodes)
+    verdicts = _evaluate_suite(
+        specs, table, failed_network.graph.nodes, scenario_waypoints, path_bound
+    )
+    outcome.newly_failing, outcome.newly_passing = _verdict_delta(
+        baseline_verdicts, verdicts, surviving
+    )
+    if outcome.newly_failing:
+        context = PropertyContext(
+            table=table, waypoints=scenario_waypoints, path_bound=path_bound
+        )
+        for spec in specs:
+            broken = outcome.newly_failing.get(spec.name)
+            if broken:
+                witness = failure_witness(spec, context, broken[0])
+                if witness is not None:
+                    outcome.witnesses[spec.name] = witness
+
+    if soundness_on and compression is not None:
+        sound = check_scenario_soundness(
+            bonsai,
+            compression,
+            scenario,
+            failed_network,
+            failed_ec,
+            verdicts,
+            specs,
+            scenario_waypoints,
+            path_bound,
+            recompress_fallback=recompress_fallback,
+        )
+        outcome.sound_under_failure = sound.sound_under_failure
+        outcome.soundness = sound.to_dict()
+    return outcome
+
+
+register_class_task("failures", "repro.failures.sweep:failure_class_task")
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+class FailureSweep:
+    """Run a failure sweep over every destination equivalence class.
+
+    Parameters mirror :class:`~repro.pipeline.core.ClassFanOut`
+    (``executor`` / ``workers`` / ``batch_size`` / ``limit`` /
+    ``use_bdds`` / ``artifact``), plus:
+
+    k:
+        Enumerate all scenarios of at most ``k`` simultaneous failures.
+    scenarios:
+        An explicit scenario list (overrides enumeration).
+    sample:
+        Deterministically sample this many scenarios instead of
+        enumerating (seeded by ``seed``).
+    include_nodes:
+        Also enumerate node failures (default: links only).
+    suite:
+        The :class:`~repro.analysis.batch.PropertySuite` to evaluate
+        (default: the full registered catalogue).
+    oracle:
+        Also scratch-solve every scenario and compare labelings
+        (default True -- this is the incremental solver's soundness gate
+        and the source of the reported speedup).
+    soundness:
+        Run the per-scenario abstraction-soundness checker (default True).
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        *,
+        artifact: Optional[EncodedNetwork] = None,
+        k: int = 1,
+        scenarios: Optional[Sequence[FailureScenario]] = None,
+        sample: Optional[int] = None,
+        seed: int = 0,
+        include_nodes: bool = False,
+        suite: Optional[PropertySuite] = None,
+        oracle: bool = True,
+        soundness: bool = True,
+        recompress_fallback: bool = True,
+        executor: str = "serial",
+        workers: int = 4,
+        batch_size: Optional[int] = None,
+        limit: Optional[int] = None,
+        use_bdds: bool = True,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if network is None and artifact is None:
+            raise ValueError("either a network or an EncodedNetwork is required")
+        self.network = artifact.network if artifact is not None else network
+        self.k = k
+        if scenarios is None:
+            scenarios = scenarios_for(
+                self.network,
+                k=k,
+                sample=sample,
+                seed=seed,
+                include_nodes=include_nodes,
+            )
+        else:
+            scenarios = list(scenarios)
+            for scenario in scenarios:
+                scenario.assert_valid(self.network)
+        self.scenarios: List[FailureScenario] = list(scenarios)
+        self.suite = suite or PropertySuite.default()
+        self.oracle = oracle
+        self.soundness = soundness
+        self.recompress_fallback = recompress_fallback
+        self.executor = executor
+        self.workers = workers
+        self._fanout_kwargs = dict(
+            artifact=artifact,
+            executor=executor,
+            workers=workers,
+            batch_size=batch_size,
+            limit=limit,
+            use_bdds=use_bdds,
+        )
+
+    def run(self) -> FailureReport:
+        start = time.perf_counter()
+        options = self.suite.to_options()
+        options["scenarios"] = [s.to_dict() for s in self.scenarios]
+        options["oracle"] = self.oracle
+        options["soundness"] = self.soundness
+        options["recompress_fallback"] = self.recompress_fallback
+        fanout = ClassFanOut(
+            self.network,
+            task="failures",
+            task_options=options,
+            **self._fanout_kwargs,
+        )
+        records: List[ClassFailureRecord] = fanout.execute()
+        artifact = fanout.artifact
+        return FailureReport(
+            network_name=fanout.network.name,
+            executor=self.executor,
+            workers=1 if self.executor == "serial" else self.workers,
+            k=self.k,
+            num_classes=len(fanout.last_classes),
+            num_scenarios=len(self.scenarios),
+            properties=list(self.suite.names),
+            path_bound=self.suite.path_bound,
+            oracle=self.oracle,
+            soundness=self.soundness,
+            encode_seconds=artifact.encode_seconds,
+            total_seconds=time.perf_counter() - start,
+            scenario_names=[s.name for s in self.scenarios],
+            records=records,
+        )
+
+
+def sweep_network(
+    network: Network,
+    k: int = 1,
+    properties: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> FailureReport:
+    """One-call failure sweep (serial by default)."""
+    suite = (
+        PropertySuite.default()
+        if properties is None
+        else PropertySuite.from_names(properties)
+    )
+    return FailureSweep(network, k=k, suite=suite, **kwargs).run()

@@ -67,6 +67,21 @@ DEFAULT_FAMILY_SIZES: Dict[str, int] = {
 }
 
 
+#: Scenario-aware failure-sweep defaults: how many scenarios a
+#: ``--failures`` run samples per family when the user does not say.
+#: ``None`` means "enumerate exhaustively" -- right for sparse families
+#: whose ≤k spaces stay small (fat-trees, rings); dense or large families
+#: (the full mesh most of all: C(n*(n-1)/2, k) scenarios) get a
+#: deterministic seeded sample so default sweeps stay interactive.
+DEFAULT_FAILURE_SAMPLES: Dict[str, Optional[int]] = {
+    "fattree": None,
+    "ring": None,
+    "mesh": 24,
+    "datacenter": 32,
+    "wan": 32,
+}
+
+
 def default_size(family: str) -> int:
     """The default size parameter for ``family``."""
     try:
@@ -76,6 +91,25 @@ def default_size(family: str) -> int:
         raise ValueError(
             f"unknown topology family {family!r}; expected one of: {known}"
         ) from None
+
+
+def default_failure_sample(family: str, k: int = 1) -> Optional[int]:
+    """The default scenario-sample cap for a failure sweep of ``family``.
+
+    Exhaustive single-link sweeps are the audit operators actually run, so
+    ``k=1`` enumerates exhaustively everywhere; beyond that the per-family
+    cap applies (``None`` keeps exhaustive enumeration).
+    """
+    try:
+        cap = DEFAULT_FAILURE_SAMPLES[family]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_FAMILIES))
+        raise ValueError(
+            f"unknown topology family {family!r}; expected one of: {known}"
+        ) from None
+    if k <= 1:
+        return None
+    return cap
 
 
 def build_topology(family: str, size: Optional[int] = None) -> Network:

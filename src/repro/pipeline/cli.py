@@ -22,6 +22,18 @@ combined JSON report (exit status 1 if any verdict diverges)::
 
     python -m repro.pipeline --verify --family all \
         --properties reachability,routing-loop-freedom --output verify.json
+
+Sweep every single-link failure of a fat-tree, re-solving incrementally
+(scratch-oracle cross-checked) and flagging per-scenario abstraction
+soundness; exit status 1 on any incremental divergence or abstract
+verdict disagreement::
+
+    python -m repro.pipeline --failures --family fattree --k 1 \
+        --output failure_report.json
+
+Sample 50 double-failure scenarios of a WAN deterministically::
+
+    python -m repro.pipeline --failures --family wan --k 2 --sample 50
 """
 
 from __future__ import annotations
@@ -35,7 +47,12 @@ from typing import List, Optional
 from repro.analysis.batch import BatchVerifier, PropertySuite, VerificationReport
 from repro.analysis.properties import registered_properties
 from repro.analysis.verifier import VerificationTimeout
-from repro.netgen.families import TOPOLOGY_FAMILIES, build_topology, default_size
+from repro.netgen.families import (
+    TOPOLOGY_FAMILIES,
+    build_topology,
+    default_failure_sample,
+    default_size,
+)
 from repro.pipeline.core import EXECUTORS, CompressionPipeline, PipelineError
 
 
@@ -132,6 +149,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="total wall-clock budget in seconds, shared across families; "
         "classes beyond it are reported as timed out and the exit status is 1",
+    )
+
+    failures = parser.add_argument_group("failure sweeps (--failures)")
+    failures.add_argument(
+        "--failures",
+        action="store_true",
+        help="sweep failure scenarios over every equivalence class: "
+        "incremental re-solve (scratch-oracle checked), per-property "
+        "verdict deltas vs. the failure-free baseline, and per-scenario "
+        "abstraction-soundness flags",
+    )
+    failures.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="enumerate all scenarios of at most k simultaneous failures "
+        "(default 1: every single-link failure)",
+    )
+    failures.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="deterministically sample this many scenarios instead of "
+        "enumerating (default: per-family cap for k>=2, exhaustive for k=1)",
+    )
+    failures.add_argument(
+        "--seed", type=int, default=None, help="seed for --sample (default 0)"
+    )
+    failures.add_argument(
+        "--fail-nodes",
+        action="store_true",
+        help="also enumerate node failures (default: links only)",
+    )
+    failures.add_argument(
+        "--no-oracle",
+        action="store_true",
+        help="skip the scratch-solve oracle cross-check (faster, ungated)",
+    )
+    failures.add_argument(
+        "--no-soundness",
+        action="store_true",
+        help="skip the per-scenario abstraction-soundness checker",
     )
     return parser
 
@@ -261,6 +320,78 @@ def _run_verify(args, families: List[str]) -> int:
     return 1 if (diverged or timed_out) else 0
 
 
+def _run_failures(args, families: List[str]) -> int:
+    from repro.failures import FailureSweep
+
+    if args.timeout is not None:
+        print("error: --timeout is only supported with --verify", file=sys.stderr)
+        return 2
+    try:
+        suite = _build_suite(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    k = args.k if args.k is not None else 1
+    reports = {}
+    failed = False
+    for family in families:
+        size = args.size if args.size is not None else default_size(family)
+        network = build_topology(family, size)
+        sample = (
+            args.sample
+            if args.sample is not None
+            else default_failure_sample(family, k)
+        )
+        try:
+            sweep = FailureSweep(
+                network,
+                k=k,
+                sample=sample,
+                seed=args.seed if args.seed is not None else 0,
+                include_nodes=args.fail_nodes,
+                suite=suite,
+                oracle=not args.no_oracle,
+                soundness=not args.no_soundness,
+                executor=args.executor,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                limit=args.limit,
+                use_bdds=not args.syntactic,
+            )
+            report = sweep.run()
+        except PipelineError as exc:
+            print(f"failure sweep failed: {exc}", file=sys.stderr)
+            return 1
+        reports[family] = report
+        failed = failed or not report.ok()
+        print(f"== failure sweep: {family}({size}) ==")
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if args.per_class:
+            for record in report.records:
+                broken = sum(
+                    1 for outcome in record.scenarios if outcome.newly_failing
+                )
+                print(
+                    f"  {record.prefix}: {broken}/{len(record.scenarios)} "
+                    f"scenarios change a verdict"
+                )
+
+    if args.output:
+        if len(reports) == 1:
+            text = next(iter(reports.values())).to_json()
+        else:
+            text = json.dumps(
+                {family: report.to_dict() for family, report in reports.items()},
+                indent=2,
+                sort_keys=True,
+            )
+        if not _write_output(args.output, text):
+            return 1
+    return 1 if failed else 0
+
+
 def _run_compress(args, family: str) -> int:
     size = args.size if args.size is not None else default_size(family)
     network = build_topology(family, size)
@@ -305,26 +436,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     if families is None:
         return 2
     try:
+        if args.verify and args.failures:
+            print("error: pass either --verify or --failures, not both", file=sys.stderr)
+            return 2
         if args.verify:
             return _run_verify(args, families)
+        if args.failures:
+            return _run_failures(args, families)
         misused = [
             flag
             for flag, value in (
                 ("--properties", args.properties),
                 ("--path-bound", args.path_bound),
                 ("--waypoints", args.waypoints),
-                ("--timeout", args.timeout),
             )
             if value is not None
         ]
         if misused:
             print(
-                f"error: {', '.join(misused)} require(s) --verify",
+                f"error: {', '.join(misused)} require(s) --verify or --failures",
+                file=sys.stderr,
+            )
+            return 2
+        if args.timeout is not None:
+            print("error: --timeout requires --verify", file=sys.stderr)
+            return 2
+        misused_failures = [
+            flag
+            for flag, value in (
+                ("--k", args.k),
+                ("--sample", args.sample),
+                ("--seed", args.seed),
+                ("--fail-nodes", args.fail_nodes or None),
+                ("--no-oracle", args.no_oracle or None),
+                ("--no-soundness", args.no_soundness or None),
+            )
+            if value is not None
+        ]
+        if misused_failures:
+            print(
+                f"error: {', '.join(misused_failures)} require(s) --failures",
                 file=sys.stderr,
             )
             return 2
         if len(families) > 1:
-            print("error: --family all requires --verify", file=sys.stderr)
+            print("error: --family all requires --verify or --failures", file=sys.stderr)
             return 2
         return _run_compress(args, families[0])
     except ValueError as exc:

@@ -54,6 +54,50 @@ class ConvergenceError(Exception):
     """Raised when the simulation does not reach a fixed point."""
 
 
+#: Default bound on the per-(edge, label) transfer memo of one solve.  A
+#: single solve can never grow it past O(edges x labels seen), but failure
+#: sweeps carry one cache across thousands of scenario re-solves, so the
+#: memo is cleared wholesale on overflow (the ``BddManager.ite`` precedent:
+#: correctness is unaffected, only hit rates).
+DEFAULT_TRANSFER_CACHE_LIMIT = 1_000_000
+
+
+class TransferCache(dict):
+    """A bounded ``(edge, neighbour_label) -> attribute`` memo with counters.
+
+    Plain ``dict`` reads/writes keep the solver hot path unchanged; the
+    solver consults :attr:`limit` before inserting and clears the cache
+    wholesale on overflow.  ``hits``/``misses``/``overflows`` let sweeps
+    report memo effectiveness (:meth:`info`).
+    """
+
+    def __init__(self, limit: Optional[int] = DEFAULT_TRANSFER_CACHE_LIMIT):
+        super().__init__()
+        if limit is not None and limit <= 0:
+            raise ValueError("limit must be positive (or None for unbounded)")
+        self.limit = limit
+        self.hits = 0
+        self.misses = 0
+        self.overflows = 0
+
+    def seeded_from(self, other: Optional[dict]) -> "TransferCache":
+        """Copy another solve's memo entries in (counters start fresh)."""
+        if other:
+            self.update(other)
+            if self.limit is not None and len(self) >= self.limit:
+                self.clear()
+        return self
+
+    def info(self) -> dict:
+        return {
+            "size": len(self),
+            "limit": self.limit,
+            "hits": self.hits,
+            "misses": self.misses,
+            "overflows": self.overflows,
+        }
+
+
 def _attribute_sort_key(attr: Attribute) -> str:
     """A deterministic (but semantically meaningless) tie-breaking key."""
     return repr(attr)
@@ -78,7 +122,11 @@ def _best_choice(srp: SRP, node: Node, labeling: Labeling) -> Optional[Attribute
     return best
 
 
-def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
+def solve(
+    srp: SRP,
+    max_rounds: int = 1000,
+    transfer_cache: Optional["TransferCache"] = None,
+) -> Solution:
     """Compute a stable solution by dependency-tracked worklist iteration.
 
     Round-for-round equivalent to :func:`solve_sweep` -- after every round
@@ -96,12 +144,87 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
         BGP dispute gadget that oscillates under synchronous updates).  An
         unconverged labeling is never returned silently.
     """
+    labeling: Labeling = {node: None for node in srp.graph.nodes}
+    labeling[srp.destination] = srp.initial
+    dirty = [node for node in srp.graph.nodes if node != srp.destination]
+    return _worklist(
+        srp,
+        labeling,
+        dirty,
+        _as_transfer_cache(transfer_cache),
+        max_rounds,
+        # Round 1 marks every node dirty, so the no-update round *is* the
+        # stability proof (see the in-loop comment); no final re-check.
+        verify_stability=False,
+    )
+
+
+def solve_seeded(
+    srp: SRP,
+    labeling: Labeling,
+    dirty,
+    transfer_cache: Optional["TransferCache"] = None,
+    max_rounds: int = 1000,
+) -> Solution:
+    """Worklist solve seeded from a prior labeling (incremental re-solve).
+
+    ``labeling`` must cover every node of ``srp.graph`` (``None`` for "no
+    route") and hold the destination's initial attribute; ``dirty`` names
+    the nodes whose offers may differ from what ``labeling`` was computed
+    under -- under a link failure: nodes incident to failed edges, nodes
+    whose baseline route traversed one (reset to ``None`` by the caller,
+    see :mod:`repro.failures.incremental`), and their dependents.  Nodes
+    outside ``dirty`` are only re-examined if a neighbour's label changes.
+
+    A ``transfer_cache`` seeded from the baseline solve makes the initial
+    offer-table construction almost entirely memo hits, which is where the
+    incremental speedup comes from.
+
+    Unlike :func:`solve`, the initial worklist does not cover every node,
+    so the no-update round is *not* a stability proof on its own; a final
+    offer-table scan re-verifies stability of every node and raises
+    :class:`ConvergenceError` on any violation (an incorrectly seeded
+    labeling is never returned silently -- callers treat that as "fall
+    back to a scratch solve").
+    """
+    seeded: Labeling = {node: labeling.get(node) for node in srp.graph.nodes}
+    seeded[srp.destination] = srp.initial
+    dirty = list(
+        dict.fromkeys(node for node in dirty if node != srp.destination)
+    )
+    return _worklist(
+        srp,
+        seeded,
+        dirty,
+        _as_transfer_cache(transfer_cache),
+        max_rounds,
+        verify_stability=True,
+    )
+
+
+def _as_transfer_cache(cache) -> "TransferCache":
+    """Normalise an optional caller-supplied memo to a :class:`TransferCache`."""
+    if cache is None:
+        return TransferCache()
+    if isinstance(cache, TransferCache):
+        return cache
+    return TransferCache().seeded_from(cache)
+
+
+def _worklist(
+    srp: SRP,
+    labeling: Labeling,
+    dirty,
+    transfer_cache,
+    max_rounds: int,
+    verify_stability: bool,
+) -> Solution:
+    """The dependency-tracked worklist core shared by :func:`solve` and
+    :func:`solve_seeded`."""
     graph = srp.graph
     transfer = srp.transfer
     prefer = srp.prefer
     destination = srp.destination
-    labeling: Labeling = {node: None for node in graph.nodes}
-    labeling[destination] = srp.initial
 
     # Static adjacency, materialised once: out_edges feed a node's choices;
     # dependents(v) are the nodes whose choices read v's label.
@@ -114,7 +237,7 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
     # pure function in the SRP model and attributes are value-semantic
     # frozen dataclasses, so the same offer never needs recomputing.
     # Unhashable labels (custom attribute types) fall back to direct calls.
-    transfer_cache: dict = {}
+    cache_limit = getattr(transfer_cache, "limit", None)
     sort_keys: dict = {}
     # Per-node offer table: offers[node][edge] is the attribute currently
     # offered over that edge (None = dropped), kept incrementally -- when a
@@ -143,7 +266,7 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
     def evaluate(edge, label) -> Optional[Attribute]:
         key = (edge, label)
         try:
-            return transfer_cache[key]
+            attr = transfer_cache[key]
         except KeyError:
             attr = transfer(edge, label)
             if attr is not None:
@@ -151,10 +274,16 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
                     attr = interned.setdefault(attr, attr)
                 except TypeError:
                     pass
+            if cache_limit is not None and len(transfer_cache) >= cache_limit:
+                transfer_cache.clear()
+                transfer_cache.overflows += 1
             transfer_cache[key] = attr
+            transfer_cache.misses += 1
             return attr
         except TypeError:
             return transfer(edge, label)
+        transfer_cache.hits += 1
+        return attr
 
     def best_of(node_offers) -> Optional[Attribute]:
         best = None
@@ -179,8 +308,11 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
                     best_key = attr_key
         return best
 
-    # Round 1 evaluates every edge of every node (transfer functions may
-    # produce attributes from a ``None`` input, e.g. static routes).
+    # Every node's offer table is built up front from the seed labeling
+    # (transfer functions may produce attributes from a ``None`` input,
+    # e.g. static routes).  In a scratch solve this is round 1's work; in a
+    # seeded solve it is almost entirely memo hits against the baseline's
+    # transfer cache.
     get_label = labeling.get
     for node in graph.nodes:
         if node != destination:
@@ -188,7 +320,6 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
                 edge: evaluate(edge, get_label(edge[1])) for edge in out_edges[node]
             }
 
-    dirty = [node for node in graph.nodes if node != destination]
     for _ in range(max_rounds):
         # Compute this round's updates from the previous round's labeling
         # (synchronous semantics), then apply them all at once.  A round
@@ -200,15 +331,30 @@ def solve(srp: SRP, max_rounds: int = 1000) -> Solution:
             if best != labeling[node]:
                 updates.append((node, best))
         if not updates:
-            # A no-update round IS the stability proof: every node's label
-            # equals the best of its offer table, and the tables reflect
-            # the final labeling (each edge was re-evaluated whenever its
-            # neighbour changed).  Re-scanning the same memoised tables
-            # could never disagree, so no redundant check is performed
-            # here; ``solve_sweep`` -- the reference oracle -- retains the
-            # live ``Solution.is_stable()`` re-evaluation that would catch
-            # an impure (model-violating) transfer function.
+            # When the initial worklist covered every node (a scratch
+            # solve), a no-update round IS the stability proof: every
+            # node's label equals the best of its offer table, and the
+            # tables reflect the final labeling (each edge was re-evaluated
+            # whenever its neighbour changed).  Re-scanning the same
+            # memoised tables could never disagree, so no redundant check
+            # is performed; ``solve_sweep`` -- the reference oracle --
+            # retains the live ``Solution.is_stable()`` re-evaluation that
+            # would catch an impure (model-violating) transfer function.
             #
+            # A *seeded* solve starts from a labeling the solver did not
+            # derive itself, and nodes outside the initial worklist were
+            # trusted, not checked -- so the seeded path re-verifies every
+            # node against the (fully materialised, memoised) offer tables
+            # before returning.  O(E) dict scans, no transfer calls.
+            if verify_stability:
+                for node in graph.nodes:
+                    if node == destination:
+                        continue
+                    if best_of(offers[node]) != labeling[node]:
+                        raise ConvergenceError(
+                            f"seeded labeling converged to an unstable fixed "
+                            f"point at node {node!r} (bad seed?)"
+                        )
             # Hand the transfer memo to the solution: every edge has been
             # evaluated under the final labeling, so forwarding-edge
             # extraction downstream is pure cache hits.

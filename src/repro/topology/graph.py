@@ -40,10 +40,21 @@ class Graph:
     def __init__(self, nodes: Iterable[Node] = (), edges: Iterable[Edge] = ()):
         self._succ: Dict[Node, Set[Node]] = {}
         self._pred: Dict[Node, Set[Node]] = {}
+        self._version = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
             self.add_edge(u, v)
+
+    @property
+    def version(self) -> int:
+        """A counter bumped by every structural mutation.
+
+        Fingerprint-guarded caches (e.g. the memoised whole-network views
+        on :class:`~repro.config.network.Network`) include this value so
+        that removing an edge or node transparently invalidates them.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,6 +64,7 @@ class Graph:
         if node not in self._succ:
             self._succ[node] = set()
             self._pred[node] = set()
+            self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the directed edge ``(u, v)``, creating endpoints as needed."""
@@ -60,6 +72,7 @@ class Graph:
         self.add_node(v)
         self._succ[u].add(v)
         self._pred[v].add(u)
+        self._version += 1
 
     def add_undirected_edge(self, u: Node, v: Node) -> None:
         """Add both ``(u, v)`` and ``(v, u)``.
@@ -82,6 +95,7 @@ class Graph:
             raise GraphError(f"edge ({u!r}, {v!r}) not in graph")
         self._succ[u].discard(v)
         self._pred[v].discard(u)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and every edge incident to it."""
@@ -93,6 +107,7 @@ class Graph:
             self.remove_edge(u, node)
         del self._succ[node]
         del self._pred[node]
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries

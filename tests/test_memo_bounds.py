@@ -1,0 +1,183 @@
+"""Memo-bound satellites: bounded caches with counters, fingerprint
+invalidation of the ``Network``-level memos under topology mutation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.abstraction.ec import routable_equivalence_classes
+from repro.config.transfer import build_srp_from_network
+from repro.netgen.families import build_topology
+from repro.srp.solver import TransferCache, solve
+from repro.topology.graph import Graph
+
+
+# ----------------------------------------------------------------------
+# Solver transfer memo
+# ----------------------------------------------------------------------
+class TestTransferCache:
+    def test_counters_and_bound(self):
+        cache = TransferCache(limit=4)
+        assert cache.info() == {
+            "size": 0,
+            "limit": 4,
+            "hits": 0,
+            "misses": 0,
+            "overflows": 0,
+        }
+        with pytest.raises(ValueError):
+            TransferCache(limit=0)
+
+    def test_solve_fills_cache_and_counts(self):
+        network = build_topology("ring", 6)
+        ec = routable_equivalence_classes(network)[0]
+        srp = build_srp_from_network(network, ec.prefix, set(ec.origins))
+        solution = solve(srp)
+        cache = solution.transfer_cache
+        assert isinstance(cache, TransferCache)
+        info = cache.info()
+        assert info["misses"] > 0 and info["size"] > 0
+        # Re-solving with the warmed cache is almost all hits.
+        warmed = solve(srp, transfer_cache=cache)
+        assert warmed.transfer_cache is cache
+        assert cache.hits > 0
+
+    def test_clear_on_overflow(self):
+        network = build_topology("ring", 6)
+        ec = routable_equivalence_classes(network)[0]
+        srp = build_srp_from_network(network, ec.prefix, set(ec.origins))
+        small = TransferCache(limit=8)
+        solve(srp, transfer_cache=small)
+        assert small.overflows > 0
+        assert len(small) <= 8
+
+    def test_overflowing_result_is_still_correct(self):
+        network = build_topology("fattree", 4)
+        ec = routable_equivalence_classes(network)[0]
+        srp = build_srp_from_network(network, ec.prefix, set(ec.origins))
+        bounded = solve(srp, transfer_cache=TransferCache(limit=5))
+        assert bounded.labeling == solve(srp).labeling
+
+    def test_seeded_from_respects_limit(self):
+        donor = TransferCache()
+        for i in range(10):
+            donor[i] = i
+        assert len(TransferCache(limit=5).seeded_from(donor)) == 0
+        assert len(TransferCache(limit=100).seeded_from(donor)) == 10
+
+
+# ----------------------------------------------------------------------
+# NetworkTransfer route-map evaluation memo
+# ----------------------------------------------------------------------
+class TestNetworkTransferEvalCache:
+    def _transfer(self, network):
+        ec = routable_equivalence_classes(network)[0]
+        srp = build_srp_from_network(network, ec.prefix, set(ec.origins))
+        return srp, ec
+
+    def test_counters_exposed(self):
+        network = build_topology("ring", 5)
+        srp, _ = self._transfer(network)
+        info = srp.transfer.eval_cache_info()
+        assert info == {
+            "size": 0,
+            "limit": srp.transfer.EVAL_CACHE_LIMIT,
+            "hits": 0,
+            "misses": 0,
+            "overflows": 0,
+        }
+        solve(srp)
+        info = srp.transfer.eval_cache_info()
+        assert info["misses"] > 0
+        assert info["size"] <= info["limit"]
+
+    def test_clear_on_overflow_keeps_answers_correct(self):
+        network = build_topology("ring", 5)
+        reference_srp, _ = self._transfer(network)
+        reference = solve(reference_srp)
+
+        bounded_srp, _ = self._transfer(network)
+        bounded_srp.transfer.EVAL_CACHE_LIMIT = 2  # instance-level override
+        bounded = solve(bounded_srp)
+        info = bounded_srp.transfer.eval_cache_info()
+        assert info["overflows"] > 0
+        assert info["size"] <= 2
+        assert bounded.labeling == reference.labeling
+
+    def test_eval_cache_not_pickled(self):
+        import pickle
+
+        network = build_topology("ring", 4)
+        srp, _ = self._transfer(network)
+        solve(srp)
+        assert srp.transfer.eval_cache_info()["size"] > 0
+        revived = pickle.loads(pickle.dumps(srp.transfer))
+        assert revived.eval_cache_info()["size"] == 0
+
+    def test_memo_distinguishes_attributes(self):
+        network = build_topology("wan", 2)
+        srp, _ = self._transfer(network)
+        solve(srp)
+        # A warmed memo must answer exactly like an uncached transfer.
+        fresh_srp, _ = self._transfer(network)
+        for edge in list(srp.graph.edges)[:10]:
+            assert srp.transfer(edge, None) == fresh_srp.transfer(edge, None)
+
+
+# ----------------------------------------------------------------------
+# Network memo invalidation under topology mutation (the regression the
+# failure views rely on: stale caches must never survive an edge removal)
+# ----------------------------------------------------------------------
+class TestNetworkMemoInvalidation:
+    def test_graph_version_counts_mutations(self):
+        g = Graph()
+        v0 = g.version
+        g.add_undirected_edge("a", "b")
+        assert g.version > v0
+        v1 = g.version
+        g.remove_edge("a", "b")
+        assert g.version > v1
+        g.add_node("c")
+        v2 = g.version
+        g.remove_node("c")
+        assert g.version > v2
+
+    def test_removing_an_edge_changes_the_destination_fingerprint(self):
+        network = build_topology("ring", 5)
+        before = network._destination_fingerprint()
+        classes_before = network.destination_equivalence_classes()
+        network.graph.remove_edge("r0", "r1")
+        after = network._destination_fingerprint()
+        assert before != after
+        # The memo is invalidated: a fresh (equal-content) result is
+        # computed rather than the stale cached object being returned.
+        cached_fingerprint = network._dec_cache[0]
+        network.destination_equivalence_classes()
+        assert network._dec_cache[0] != cached_fingerprint or before != after
+        assert network._dec_cache[0] == network._destination_fingerprint()
+        # Destination classes do not depend on edges, so contents agree.
+        assert network.destination_equivalence_classes() == classes_before
+
+    def test_removing_an_edge_invalidates_the_local_pref_cache(self):
+        network = build_topology("wan", 2)
+        values = network.local_pref_values_by_device()
+        fingerprint = network._lp_cache[0]
+        edge = network.graph.edges[0]
+        network.graph.remove_edge(*edge)
+        assert network.local_pref_values_by_device() == values
+        assert network._lp_cache[0] != fingerprint
+
+    def test_removing_a_node_also_invalidates(self):
+        network = build_topology("ring", 5)
+        network.destination_equivalence_classes()
+        fingerprint = network._dec_cache[0]
+        network.graph.remove_node("r0")
+        network.destination_equivalence_classes()
+        assert network._dec_cache[0] != fingerprint
+
+    def test_unchanged_network_still_hits_the_memo(self):
+        network = build_topology("ring", 5)
+        network.destination_equivalence_classes()
+        cached = network._dec_cache
+        network.destination_equivalence_classes()
+        assert network._dec_cache is cached
