@@ -21,6 +21,12 @@ Stages
   re-solve vs the scratch oracle); the report additionally records
   ``failure_incremental_speedup``, the scratch/incremental wall-clock
   ratio on the fat-tree sweep.
+* ``delta_sweep``    -- single-change :class:`DeltaSweep` runs (a
+  compression-invariant change plus a route-map tightening on a
+  fat-tree); the report additionally records
+  ``delta_incremental_speedup``, the full-rebuild/incremental
+  wall-clock ratio of the invariant-change sweep, and the run fails if
+  that sweep re-compresses any class (abstraction reuse is the point).
 
 Every stage is run ``--repeat`` times and the *minimum* is reported, so
 scheduler noise cannot manufacture a regression.
@@ -93,6 +99,18 @@ FULL_FAILURE_WORKLOADS = [
 QUICK_FAILURE_WORKLOADS = [
     ("fattree", 4, 4),
     ("ring", 12, None),
+]
+
+#: (family, size, class limit) pairs for the delta-sweep stage.  Each
+#: network runs two single-change sweeps: the compression-invariant
+#: change (zero re-compressed classes expected; carries the PR-5
+#: acceptance criterion of >=2x incremental vs full rebuild) and the
+#: per-class route-map tightening.
+FULL_DELTA_WORKLOADS = [
+    ("fattree", 6, 6),
+]
+QUICK_DELTA_WORKLOADS = [
+    ("fattree", 4, 4),
 ]
 
 #: Flat grace added to every per-stage regression check.  Baselines are
@@ -212,10 +230,71 @@ def stage_failure_sweep(failure_workloads):
     return time.perf_counter() - start, speedup
 
 
+def _delta_scripts(network):
+    """The two single-change scripts a delta workload runs."""
+    import random
+
+    from repro.netgen.changes import invariant_acl_change, tighten_export_change
+
+    rng = random.Random(0)
+    return [
+        ("invariant", invariant_acl_change(network, rng)),
+        ("tighten", tighten_export_change(network, random.Random(0))),
+    ]
+
+
+def stage_delta_sweep(delta_workloads):
+    """Single-change what-if sweeps with both oracles enabled.
+
+    Returns ``(seconds, invariant_speedup)``: the timed stage plus the
+    incremental-vs-full-rebuild wall-clock ratio of the fat-tree
+    invariant-change sweep (the acceptance metric recorded as
+    ``delta_incremental_speedup``).  Raises if the invariant sweep
+    re-compresses any class or any oracle disagrees.
+    """
+    from repro.delta import DeltaSweep
+
+    networks = [
+        (family, build_topology(family, size), limit)
+        for family, size, limit in delta_workloads
+    ]
+    speedup = None
+    start = time.perf_counter()
+    for family, network, limit in networks:
+        for label, changeset in _delta_scripts(network):
+            if changeset is None:
+                continue
+            report = DeltaSweep(
+                network,
+                script=[changeset],
+                executor="serial",
+                oracle=True,
+                revalidate=True,
+                rebuild_oracle=True,
+                limit=limit,
+            ).run()
+            if not report.ok():
+                raise RuntimeError(
+                    f"delta sweep diverged on {network.name} ({label}): "
+                    f"{report.incremental_divergences()} "
+                    f"{report.abstract_disagreements()}"
+                )
+            if label == "invariant":
+                counts = report.reuse_counts()
+                if counts["recompressed"]:
+                    raise RuntimeError(
+                        f"compression-invariant change re-compressed "
+                        f"{counts['recompressed']} classes on {network.name}"
+                    )
+                if family == "fattree":
+                    speedup = report.incremental_speedup
+    return time.perf_counter() - start, speedup
+
+
 # ----------------------------------------------------------------------
 # Correctness cross-checks (reference oracles)
 # ----------------------------------------------------------------------
-def run_checks(workloads, failure_workloads=()) -> List[str]:
+def run_checks(workloads, failure_workloads=(), delta_workloads=()) -> List[str]:
     """Compare the optimized hot paths against their reference oracles.
 
     Returns a list of human-readable failures (empty = all good).
@@ -273,6 +352,33 @@ def run_checks(workloads, failure_workloads=()) -> List[str]:
                 f"{family}({size}): abstract verdicts disagree under failures: "
                 f"{sweep.soundness_disagreements()}"
             )
+    from repro.delta import DeltaSweep
+    from repro.netgen.changes import generated_change_script
+
+    for family, size, limit in delta_workloads:
+        network = build_topology(family, size)
+        script = generated_change_script(network, family)
+        sweep = DeltaSweep(
+            network,
+            script=script,
+            executor="serial",
+            oracle=True,
+            revalidate=True,
+            # The check only reads the divergence/disagreement verdicts;
+            # the rebuild arm exists for the timing stage's speedup.
+            rebuild_oracle=False,
+            limit=limit,
+        ).run()
+        if not sweep.incremental_all_match():
+            failures.append(
+                f"{family}({size}): change-incremental re-solve diverges from "
+                f"the scratch oracle: {sweep.incremental_divergences()}"
+            )
+        if sweep.abstract_disagreements():
+            failures.append(
+                f"{family}({size}): abstract verdicts disagree under changes: "
+                f"{sweep.abstract_disagreements()}"
+            )
     return failures
 
 
@@ -287,6 +393,7 @@ STAGES = (
     "verify",
     "pipeline",
     "failure_sweep",
+    "delta_sweep",
 )
 
 
@@ -295,6 +402,7 @@ def run_benchmark(quick: bool, repeat: int):
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
     bdd_vars = QUICK_BDD_VARS if quick else FULL_BDD_VARS
     failure_workloads = QUICK_FAILURE_WORKLOADS if quick else FULL_FAILURE_WORKLOADS
+    delta_workloads = QUICK_DELTA_WORKLOADS if quick else FULL_DELTA_WORKLOADS
     fattree_only = [(f, s) for f, s in workloads if f == "fattree"]
 
     def best(fn, *args) -> float:
@@ -317,10 +425,14 @@ def run_benchmark(quick: bool, repeat: int):
     failure_runs = [stage_failure_sweep(failure_workloads) for _ in range(repeat)]
     stages["failure_sweep"] = min(seconds for seconds, _ in failure_runs)
     speedups = [speedup for _, speedup in failure_runs if speedup]
+    delta_runs = [stage_delta_sweep(delta_workloads) for _ in range(repeat)]
+    stages["delta_sweep"] = min(seconds for seconds, _ in delta_runs)
+    delta_speedups = [speedup for _, speedup in delta_runs if speedup]
     extras = {
         # min(), like the timing stages: scheduler noise in a scratch arm
         # must not be able to manufacture the headline speedup.
         "failure_incremental_speedup": min(speedups) if speedups else None,
+        "delta_incremental_speedup": min(delta_speedups) if delta_speedups else None,
     }
     return stages, extras
 
@@ -389,6 +501,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     speedup = extras.get("failure_incremental_speedup")
     if speedup is not None:
         print(f"  failure-sweep incremental re-solve speedup: {speedup:.2f}x")
+    delta_speedup = extras.get("delta_incremental_speedup")
+    if delta_speedup is not None:
+        print(
+            f"  delta-sweep incremental vs full-rebuild speedup: "
+            f"{delta_speedup:.2f}x"
+        )
 
     status = 0
     if args.check:
@@ -396,7 +514,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         failure_workloads = (
             QUICK_FAILURE_WORKLOADS if args.quick else FULL_FAILURE_WORKLOADS
         )
-        failures = run_checks(workloads, failure_workloads)
+        delta_workloads = (
+            QUICK_DELTA_WORKLOADS if args.quick else FULL_DELTA_WORKLOADS
+        )
+        failures = run_checks(workloads, failure_workloads, delta_workloads)
         if failures:
             status = 1
             for failure in failures:

@@ -38,6 +38,13 @@ from repro.analysis import (
     verify_with_abstraction,
 )
 from repro.config import Network, Prefix, parse_network
+from repro.delta import (
+    ChangeSet,
+    DeltaReport,
+    DeltaSweep,
+    load_change_script,
+    sweep_changes,
+)
 from repro.failures import (
     FailureReport,
     FailureScenario,
@@ -93,6 +100,11 @@ __all__ = [
     "Network",
     "Prefix",
     "parse_network",
+    "ChangeSet",
+    "DeltaReport",
+    "DeltaSweep",
+    "load_change_script",
+    "sweep_changes",
     "FailureScenario",
     "FailureSweep",
     "FailureReport",

@@ -405,6 +405,50 @@ def get_property(name: str) -> PropertySpec:
         raise ValueError(f"unknown property {name!r}; registered: {known}") from None
 
 
+#: ``{property: {node: holds}}`` -- the boolean verdict form the failure
+#: and change sweeps exchange and diff.
+VerdictMap = Dict[str, Dict[str, bool]]
+
+
+def evaluate_suite(
+    specs: Sequence[PropertySpec],
+    table: ForwardingTable,
+    nodes: Iterable[Node],
+    waypoints: Iterable[str],
+    path_bound: Optional[int],
+) -> VerdictMap:
+    """Boolean verdicts of every spec on every node of one table."""
+    context = PropertyContext(
+        table=table, waypoints=frozenset(waypoints), path_bound=path_bound
+    )
+    return {
+        spec.name: {str(node): spec.evaluate(context, node).holds for node in nodes}
+        for spec in specs
+    }
+
+
+def verdict_delta(
+    baseline: VerdictMap, current: VerdictMap, nodes: Iterable[str]
+) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+    """``(newly failing, newly passing)`` per property over ``nodes``.
+
+    Nodes absent from a map default to passing on the baseline side (a
+    node that did not exist before cannot have been failing) and to
+    unchanged on the current side.
+    """
+    newly_failing: Dict[str, List[str]] = {}
+    newly_passing: Dict[str, List[str]] = {}
+    for prop, per_node in current.items():
+        base = baseline.get(prop, {})
+        failing = [n for n in nodes if base.get(n, True) and not per_node.get(n, True)]
+        passing = [n for n in nodes if not base.get(n, True) and per_node.get(n, False)]
+        if failing:
+            newly_failing[prop] = failing
+        if passing:
+            newly_passing[prop] = passing
+    return newly_failing, newly_passing
+
+
 def _negate(result: PropertyResult) -> PropertyResult:
     """Turn an existence check into the corresponding freedom property.
 

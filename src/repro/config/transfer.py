@@ -232,12 +232,37 @@ def syntactic_policy_keys(
     destination: Prefix,
     compiled: Optional[Dict[Edge, CompiledEdge]] = None,
     ignore_communities: Optional[FrozenSet[str]] = None,
+    specialize_cache: Optional[Dict] = None,
 ) -> Dict[Edge, Hashable]:
-    """Canonical per-edge policy keys based on specialized configuration text."""
+    """Canonical per-edge policy keys based on specialized configuration text.
+
+    ``specialize_cache`` optionally memoises :func:`specialize_route_map`
+    results per ``(route-map identity, device identity)``.  The caller
+    owns the dict and must scope it to one ``(destination,
+    ignore_communities)`` pair -- and keep the networks it keys alive for
+    the cache's lifetime, since identity is by ``id()``.  Both identities
+    matter: specialization also reads the device's prefix lists, and a
+    copy-on-write edit (same device name, new object) must miss rather
+    than serve the stale tuple.  Change sweeps use this to key many
+    structurally-shared networks without re-specializing the unchanged
+    route maps.
+    """
     if compiled is None:
         compiled = compile_edges(network, destination)
     if ignore_communities is None:
         ignore_communities = network.unused_communities()
+
+    def specialized(route_map, device: DeviceConfig) -> Tuple:
+        if specialize_cache is None:
+            return specialize_route_map(route_map, device, destination, ignore_communities)
+        key = (id(route_map), id(device))
+        result = specialize_cache.get(key)
+        if result is None:
+            result = specialize_cache[key] = specialize_route_map(
+                route_map, device, destination, ignore_communities
+            )
+        return result
+
     keys: Dict[Edge, Hashable] = {}
     for edge, info in compiled.items():
         receiver_cfg = network.devices[info.receiver]
@@ -245,8 +270,8 @@ def syntactic_policy_keys(
         keys[edge] = (
             info.has_bgp,
             info.ibgp,
-            specialize_route_map(info.export_map, sender_cfg, destination, ignore_communities),
-            specialize_route_map(info.import_map, receiver_cfg, destination, ignore_communities),
+            specialized(info.export_map, sender_cfg),
+            specialized(info.import_map, receiver_cfg),
             info.has_ospf,
             info.ospf_cost if info.has_ospf else None,
             info.has_static,

@@ -1,0 +1,229 @@
+"""Abstraction revalidation: does the baseline Bonsai survive a change?
+
+Compression is the expensive half of change validation, so the sweep
+asks, per destination class: can the baseline abstraction be *reused* for
+the changed network, or must the class be re-compressed?
+
+The decision is a signature comparison.  Refinement is a pure function of
+(graph, per-edge specialized policy keys, origin set, per-node
+local-preference sets) -- exactly the inputs the PR-3 cross-class
+refinement cache keys on -- so if the changed network's signature for a
+class equals the baseline's, the refinement problem is *identical* and
+the baseline :class:`~repro.abstraction.bonsai.CompressionResult` is
+still an effective abstraction of the changed network.  The signature
+uses the specialized *syntactic* keys (canonical per destination): they
+are conservative -- syntactically different but semantically equal
+policies re-compress unnecessarily -- but never unsound, because
+syntactic equality implies transfer equality.
+
+On a mismatch the class is re-compressed from scratch on the changed
+network (a fresh :class:`~repro.abstraction.bonsai.Bonsai`; changed
+configurations may enlarge the policy universe, so the baseline's BDD
+encoder is not blindly reused the way the failure checker can).
+
+Either way the outcome ends in a differential verdict comparison --
+abstract verdicts lifted through whichever mapping was used must equal
+the concrete ones (reusing
+:func:`repro.failures.soundness.lifted_abstract_verdicts`) -- so a wrong
+reuse decision would surface as ``agrees=False`` rather than pass
+silently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.abstraction.bonsai import Bonsai, CompressionResult
+from repro.abstraction.ec import EquivalenceClass
+from repro.analysis.properties import PropertySpec
+from repro.config.network import Network
+from repro.config.prefix import Prefix
+from repro.config.transfer import syntactic_policy_keys
+from repro.failures.soundness import (
+    VerdictMap,
+    compare_verdicts,
+    lifted_abstract_verdicts,
+)
+
+
+@dataclass
+class RevalidationOutcome:
+    """What the revalidator concluded for one (class, change) pair."""
+
+    #: The baseline abstraction survives the change: it was reused without
+    #: re-compressing this class.
+    reused: bool
+    #: Why not, when it was not ("" when it was).
+    reason: str = ""
+    #: Whether a per-class re-compression of the changed network ran.
+    recompressed: bool = False
+    #: Differential result: lifted abstract verdicts equal concrete ones.
+    agrees: Optional[bool] = None
+    #: ``{property: [nodes]}`` where they do not.
+    mismatched: Dict[str, List[str]] = field(default_factory=dict)
+    #: Abstract node count of whichever abstraction was compared against.
+    abstract_nodes: int = 0
+    #: Wall-clock of the signature check plus the reuse-side verdict
+    #: lifting (the incremental arm's revalidation cost).
+    seconds: float = 0.0
+    #: Wall-clock of the re-compression, when one ran.
+    recompress_seconds: float = 0.0
+    #: The lifted verdict map compared against (not serialised; sweeps
+    #: cache it across the steps of one class when the abstraction is
+    #: reused, since a matching signature fixes the abstract network).
+    lifted: Optional[VerdictMap] = field(default=None, repr=False)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "reused": self.reused,
+            "reason": self.reason,
+            "recompressed": self.recompressed,
+            "agrees": self.agrees,
+            "mismatched": dict(self.mismatched),
+            "abstract_nodes": self.abstract_nodes,
+            "seconds": self.seconds,
+            "recompress_seconds": self.recompress_seconds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+def class_signature(
+    network: Network,
+    prefix: Prefix,
+    origins: FrozenSet[str],
+    keys: Optional[Dict] = None,
+) -> Tuple:
+    """The refinement-input signature of one destination class.
+
+    Two networks with equal signatures for a class pose the identical
+    refinement problem: same node set, same directed edges (the key map's
+    domain), same specialized per-edge policy keys, same origins (hence
+    the same virtual-destination shape) and same per-node local-preference
+    sets.  ``keys`` lets a caller that already specialized the network's
+    policy keys for this prefix (the sweep's edge diff) share them.
+
+    Signatures are compared with :func:`signature_matches`, not hashed:
+    the key maps stay plain dicts so an equality check short-circuits on
+    the first difference instead of paying a full deep hash up front.
+    """
+    if keys is None:
+        keys = syntactic_policy_keys(network, prefix)
+    return (
+        frozenset(str(node) for node in network.graph.nodes),
+        keys,
+        frozenset(str(origin) for origin in origins),
+        network.local_pref_values_by_device(),
+    )
+
+
+def signature_matches(baseline_signature: Tuple, changed_signature: Tuple) -> str:
+    """"" when the signatures coincide, else a human-readable reason."""
+    base_nodes, base_keys, base_origins, base_lp = baseline_signature
+    new_nodes, new_keys, new_origins, new_lp = changed_signature
+    if base_nodes != new_nodes:
+        return "topology changed: node set differs"
+    if base_origins != new_origins:
+        added = sorted(new_origins - base_origins)
+        gone = sorted(base_origins - new_origins)
+        return f"origin set changed (+{added}, -{gone})"
+    if set(base_keys) != set(new_keys):
+        return "topology changed: edge set differs"
+    if base_keys != new_keys:
+        differing = sorted(
+            str(edge)
+            for edge in set(base_keys) | set(new_keys)
+            if base_keys.get(edge) != new_keys.get(edge)
+        )[:3]
+        return f"specialized policy keys differ on {differing}"
+    if base_lp != new_lp:
+        return "per-device local-preference sets differ"
+    return ""
+
+
+# ----------------------------------------------------------------------
+# The revalidator
+# ----------------------------------------------------------------------
+def revalidate_class(
+    baseline: CompressionResult,
+    baseline_signature: Tuple,
+    changed_network: Network,
+    changed_ec: EquivalenceClass,
+    concrete_verdicts: VerdictMap,
+    specs: List[PropertySpec],
+    waypoints: FrozenSet[str],
+    path_bound: int,
+    recompress_bonsai: Callable[[], Bonsai],
+    changed_keys: Optional[Dict] = None,
+    baseline_lifted: Optional[VerdictMap] = None,
+) -> RevalidationOutcome:
+    """Decide reuse-vs-recompress for one class and differentially verify.
+
+    ``concrete_verdicts`` are the per-node verdicts already computed on
+    the changed concrete network by the sweep's incremental re-solve;
+    ``recompress_bonsai`` lazily supplies a :class:`Bonsai` over the
+    changed network (shared across classes by the sweep task) so the
+    re-compression path does not rebuild the policy encoder per class.
+    ``changed_keys`` shares the sweep's already-specialized policy keys;
+    ``baseline_lifted`` shares a previous step's reuse-side lifted
+    verdict map (valid because a matching signature fixes the abstract
+    network, the node set and the waypoint set).
+    """
+    start = time.perf_counter()
+    changed_signature = class_signature(
+        changed_network, changed_ec.prefix, changed_ec.origins, keys=changed_keys
+    )
+    reason = signature_matches(baseline_signature, changed_signature)
+    nodes = sorted(str(n) for n in changed_network.graph.nodes)
+
+    if not reason and baseline.abstract_network is not None:
+        lifted = baseline_lifted
+        if lifted is None:
+            lifted = lifted_abstract_verdicts(
+                baseline.abstraction,
+                baseline.abstract_network,
+                changed_ec,
+                specs,
+                nodes,
+                waypoints,
+                path_bound,
+            )
+        mismatched = compare_verdicts(concrete_verdicts, lifted)
+        return RevalidationOutcome(
+            reused=True,
+            recompressed=False,
+            agrees=not mismatched,
+            mismatched=mismatched,
+            abstract_nodes=baseline.abstract_network.graph.num_nodes(),
+            seconds=time.perf_counter() - start,
+            lifted=lifted,
+        )
+    if not reason:
+        reason = "baseline compression was run without build_network=True"
+
+    seconds = time.perf_counter() - start
+    recompress_start = time.perf_counter()
+    result = recompress_bonsai().compress(changed_ec, build_network=True)
+    lifted = lifted_abstract_verdicts(
+        result.abstraction,
+        result.abstract_network,
+        changed_ec,
+        specs,
+        nodes,
+        waypoints,
+        path_bound,
+    )
+    mismatched = compare_verdicts(concrete_verdicts, lifted)
+    return RevalidationOutcome(
+        reused=False,
+        reason=reason,
+        recompressed=True,
+        agrees=not mismatched,
+        mismatched=mismatched,
+        abstract_nodes=result.abstract_nodes,
+        seconds=seconds,
+        recompress_seconds=time.perf_counter() - recompress_start,
+    )

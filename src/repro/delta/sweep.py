@@ -1,0 +1,908 @@
+"""What-if change sweeps: change scripts x equivalence classes.
+
+:class:`DeltaSweep` makes configuration change validation a batch
+workload like compression, verification and failure analysis before it:
+take an **ordered change script** (a list of
+:class:`~repro.delta.changeset.ChangeSet` steps, applied cumulatively),
+fan the per-class work out through the generic
+:class:`~repro.pipeline.core.ClassFanOut` engine as the ``"delta"``
+task, and aggregate a JSON :class:`DeltaReport`.
+
+Each task invocation handles *all* steps of one destination equivalence
+class, because that is where the reuse lives: the baseline is solved and
+compressed once; each step's incremental re-solve is seeded from the
+previous step's solution through the compiled-edge diff
+(:func:`repro.delta.incremental.delta_resolve`); and the baseline
+abstraction is revalidated per step -- reused outright when the class's
+refinement signature is unchanged, re-compressed only when dirty
+(:func:`repro.delta.revalidate.revalidate_class`).
+
+Per (class, step) the task records:
+
+* the **incremental re-solve** outcome -- label-for-label agreement with
+  the scratch oracle (when ``oracle`` is on), taint/dirty/edge-diff
+  sizes, and both wall-clock times;
+* the **verdict delta vs. the unchanged baseline** for every suite
+  property, with one structured witness per newly broken property;
+* the **revalidation** outcome -- abstraction reused or re-compressed,
+  and the differential lifted-abstract-vs-concrete comparison either way;
+* the **rebuild arm** timings (scratch solve + fresh re-compression)
+  behind the report's headline incremental-vs-rebuild speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.abstraction.bonsai import Bonsai
+from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
+from repro.analysis.batch import PropertySuite
+from repro.analysis.dataplane import ForwardingTable, forwarding_table_from_solution
+from repro.analysis.properties import (
+    PropertyContext,
+    evaluate_suite,
+    failure_witness,
+    verdict_delta,
+)
+from repro.config.network import Network
+from repro.config.transfer import (
+    build_srp_from_network,
+    compile_base_edges,
+    specialize_compiled_edges,
+    syntactic_policy_keys,
+)
+from repro.delta.changeset import ChangeSet
+from repro.delta.incremental import delta_resolve, diff_network_edges
+from repro.delta.revalidate import class_signature, revalidate_class
+from repro.failures.incremental import BaselineIndex, divergent_nodes
+from repro.failures.soundness import lifted_abstract_verdicts
+from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
+from repro.pipeline.encoded import EncodedNetwork
+from repro.srp.solver import solve
+
+#: Format version of the JSON delta reports.
+DELTA_REPORT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+@dataclass
+class ChangeOutcome:
+    """Everything recorded for one (equivalence class, change step) pair."""
+
+    step: str
+    changes: List[str] = field(default_factory=list)
+    #: No device originates the class prefix any more after this step.
+    unroutable: bool = False
+    #: The origin set (or destination partition) changed: the SRP's
+    #: destination structure no longer lines up with the previous step's,
+    #: so the scratch result served the solution.
+    origins_changed: bool = False
+    #: The destination trie no longer has a class at exactly this prefix.
+    partition_changed: bool = False
+    incremental_used: bool = False
+    #: Incremental labeling is identical to the scratch oracle's (``None``
+    #: when the oracle was skipped or incremental did not run).
+    incremental_matches_scratch: Optional[bool] = None
+    divergent: List[str] = field(default_factory=list)
+    incremental_seconds: float = 0.0
+    scratch_seconds: float = 0.0
+    tainted: int = 0
+    dirty: int = 0
+    edges_removed: int = 0
+    edges_added: int = 0
+    edges_changed: int = 0
+    #: Revalidation verdicts (``None`` when revalidation was off or the
+    #: step was unroutable).
+    reused: Optional[bool] = None
+    recompressed: bool = False
+    revalidate_seconds: float = 0.0
+    #: Re-compression cost charged to the *incremental* arm (only when the
+    #: signature mismatched and the class really was re-compressed).
+    recompress_seconds: float = 0.0
+    #: Fresh-compression cost of the *rebuild* arm (equals
+    #: ``recompress_seconds`` when a re-compression ran; a separately
+    #: timed throwaway compression when the abstraction was reused and the
+    #: rebuild oracle is on; 0 when unmeasured).
+    rebuild_compress_seconds: float = 0.0
+    #: Full :class:`~repro.delta.revalidate.RevalidationOutcome` wire form.
+    revalidation: Optional[Dict] = None
+    #: Per-property verdict delta vs. the unchanged baseline.
+    newly_failing: Dict[str, List[str]] = field(default_factory=dict)
+    newly_passing: Dict[str, List[str]] = field(default_factory=dict)
+    #: One structured counterexample per newly broken property.
+    witnesses: Dict[str, Dict] = field(default_factory=dict)
+
+    def abstract_agrees(self) -> Optional[bool]:
+        if self.revalidation is None:
+            return None
+        return self.revalidation.get("agrees")
+
+    def canonical(self) -> Tuple:
+        """Timing-free outcome, for executor-parity comparisons."""
+        return (
+            self.step,
+            self.unroutable,
+            self.origins_changed,
+            self.partition_changed,
+            self.incremental_matches_scratch,
+            self.reused,
+            self.recompressed,
+            self.abstract_agrees(),
+            tuple(sorted((k, tuple(v)) for k, v in self.newly_failing.items())),
+            tuple(sorted((k, tuple(v)) for k, v in self.newly_passing.items())),
+        )
+
+
+@dataclass
+class ClassDeltaRecord:
+    """All change-step outcomes for one destination equivalence class."""
+
+    prefix: str
+    origins: List[str]
+    baseline_seconds: float
+    compression_seconds: float
+    baseline_failing: Dict[str, List[str]] = field(default_factory=dict)
+    steps: List[ChangeOutcome] = field(default_factory=list)
+
+    def canonical(self) -> Tuple:
+        return (
+            self.prefix,
+            tuple(self.origins),
+            tuple(sorted((k, tuple(v)) for k, v in self.baseline_failing.items())),
+            tuple(outcome.canonical() for outcome in self.steps),
+        )
+
+
+@dataclass
+class DeltaReport:
+    """Run-level aggregation of a what-if change sweep."""
+
+    network_name: str
+    executor: str
+    workers: int
+    num_classes: int
+    num_steps: int
+    properties: List[str]
+    path_bound: Optional[int]
+    oracle: bool
+    revalidate: bool
+    rebuild_oracle: bool
+    encode_seconds: float
+    total_seconds: float
+    step_names: List[str] = field(default_factory=list)
+    records: List[ClassDeltaRecord] = field(default_factory=list)
+    version: int = DELTA_REPORT_VERSION
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _outcomes(self):
+        for record in self.records:
+            for outcome in record.steps:
+                yield record, outcome
+
+    @property
+    def incremental_seconds(self) -> float:
+        return sum(o.incremental_seconds for _, o in self._outcomes())
+
+    @property
+    def scratch_seconds(self) -> float:
+        return sum(o.scratch_seconds for _, o in self._outcomes())
+
+    @property
+    def incremental_speedup(self) -> Optional[float]:
+        """Rebuild-vs-incremental wall-clock ratio over measured steps.
+
+        The incremental arm is what change validation actually pays:
+        seeded re-solve plus revalidation (including any per-class
+        re-compression the signature check forced).  The rebuild arm is
+        what a from-scratch pipeline pays for the same answer: a fresh
+        solve plus a fresh compression.  Only (class, step) pairs where
+        both arms were measured contribute.
+        """
+        inc = 0.0
+        rebuild = 0.0
+        for _, o in self._outcomes():
+            if not o.incremental_used or o.scratch_seconds <= 0:
+                continue
+            if o.rebuild_compress_seconds <= 0:
+                continue
+            inc += o.incremental_seconds + o.revalidate_seconds + o.recompress_seconds
+            rebuild += o.scratch_seconds + o.rebuild_compress_seconds
+        if inc <= 0 or rebuild <= 0:
+            return None
+        return rebuild / inc
+
+    def incremental_all_match(self) -> bool:
+        """Every compared step re-solved bit-identically to scratch."""
+        return all(
+            o.incremental_matches_scratch is not False for _, o in self._outcomes()
+        )
+
+    def incremental_divergences(self) -> List[Tuple[str, str, List[str]]]:
+        return [
+            (record.prefix, outcome.step, list(outcome.divergent))
+            for record, outcome in self._outcomes()
+            if outcome.incremental_matches_scratch is False
+        ]
+
+    def reuse_counts(self) -> Dict[str, int]:
+        """How (class, step) pairs fared against the baseline abstraction."""
+        counts = {"checked": 0, "reused": 0, "recompressed": 0, "disagreed": 0}
+        for _, outcome in self._outcomes():
+            if outcome.reused is None:
+                continue
+            counts["checked"] += 1
+            if outcome.reused:
+                counts["reused"] += 1
+            if outcome.recompressed:
+                counts["recompressed"] += 1
+            if outcome.abstract_agrees() is False:
+                counts["disagreed"] += 1
+        return counts
+
+    def abstract_disagreements(self) -> List[Tuple[str, str, Dict]]:
+        return [
+            (record.prefix, outcome.step, dict(outcome.revalidation or {}))
+            for record, outcome in self._outcomes()
+            if outcome.abstract_agrees() is False
+        ]
+
+    def first_breaking_change(self) -> Dict[str, Optional[str]]:
+        """Per property: the first step (script order) breaking it anywhere."""
+        order = {name: index for index, name in enumerate(self.step_names)}
+        first: Dict[str, Optional[str]] = {name: None for name in self.properties}
+        for _, outcome in self._outcomes():
+            for prop, nodes in outcome.newly_failing.items():
+                if not nodes:
+                    continue
+                current = first.get(prop)
+                if current is None or order.get(outcome.step, 1 << 30) < order.get(
+                    current, 1 << 30
+                ):
+                    first[prop] = outcome.step
+        return first
+
+    def first_property_broken(self) -> Optional[Tuple[str, str]]:
+        """The earliest ``(property, step)`` break of the whole sweep."""
+        order = {name: index for index, name in enumerate(self.step_names)}
+        best: Optional[Tuple[str, str]] = None
+        for prop, step in self.first_breaking_change().items():
+            if step is None:
+                continue
+            if best is None or order.get(step, 1 << 30) < order.get(best[1], 1 << 30):
+                best = (prop, step)
+        return best
+
+    def property_break_counts(self) -> Dict[str, int]:
+        """Per property: how many (class, step) pairs newly break it."""
+        counts = {name: 0 for name in self.properties}
+        for _, outcome in self._outcomes():
+            for prop, nodes in outcome.newly_failing.items():
+                if nodes:
+                    counts[prop] = counts.get(prop, 0) + 1
+        return counts
+
+    def ok(self) -> bool:
+        """The sweep-level gate: no divergence, no abstract disagreement."""
+        return self.incremental_all_match() and not self.abstract_disagreements()
+
+    def canonical_records(self) -> Tuple[Tuple, ...]:
+        return tuple(
+            record.canonical()
+            for record in sorted(self.records, key=lambda r: r.prefix)
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        data = asdict(self)
+        data["aggregate"] = {
+            "incremental_seconds": self.incremental_seconds,
+            "scratch_seconds": self.scratch_seconds,
+            "incremental_speedup": self.incremental_speedup,
+            "incremental_all_match": self.incremental_all_match(),
+            "reuse": self.reuse_counts(),
+            "first_breaking_change": self.first_breaking_change(),
+            "first_property_broken": self.first_property_broken(),
+            "property_break_counts": self.property_break_counts(),
+        }
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "DeltaReport":
+        payload = dict(data)
+        payload.pop("aggregate", None)
+        records = []
+        for raw in payload.pop("records", []):
+            raw = dict(raw)
+            steps = [ChangeOutcome(**outcome) for outcome in raw.pop("steps", [])]
+            records.append(ClassDeltaRecord(steps=steps, **raw))
+        return cls(records=records, **payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeltaReport":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"network: {self.network_name}",
+            f"executor: {self.executor} (workers={self.workers})",
+            f"change script: {self.num_steps} steps x {self.num_classes} classes",
+            f"properties: {', '.join(self.properties)}",
+        ]
+        if self.oracle:
+            speedup = self.incremental_speedup
+            lines.append(
+                f"incremental re-verify: {self.incremental_seconds:.3f}s vs "
+                f"scratch solve {self.scratch_seconds:.3f}s"
+                + (
+                    f" (vs full rebuild: {speedup:.2f}x)"
+                    if speedup is not None
+                    else ""
+                )
+            )
+            lines.append(
+                "incremental labelings IDENTICAL to the scratch oracle"
+                if self.incremental_all_match()
+                else f"INCREMENTAL DIVERGED: {self.incremental_divergences()}"
+            )
+        if self.revalidate:
+            counts = self.reuse_counts()
+            lines.append(
+                f"abstraction revalidation: {counts['reused']}/{counts['checked']} "
+                f"(class, step) pairs reused the baseline abstraction, "
+                f"{counts['recompressed']} re-compressed, "
+                f"{counts['disagreed']} verdict disagreements"
+            )
+        first = self.first_breaking_change()
+        for prop in self.properties:
+            step = first.get(prop)
+            lines.append(
+                f"  {prop}: "
+                + ("survives every change" if step is None else f"first broken by {step}")
+            )
+        return lines
+
+
+# ----------------------------------------------------------------------
+# Per-worker script state (shared across the classes one worker handles)
+# ----------------------------------------------------------------------
+#: Step index standing for the unchanged baseline network in the script
+#: state's per-network caches.
+_BASELINE_STEP = -1
+
+
+class _ScriptState:
+    """The cumulative changed networks (and per-network caches) of one
+    script, cached on the worker's Bonsai so every class the worker
+    handles shares the applied networks, each step's policy encoder, the
+    destination-independent base compilations and the route-map
+    specialization memos."""
+
+    __slots__ = (
+        "key",
+        "steps",
+        "bonsais",
+        "base_compiled",
+        "ignore",
+        "spec_caches",
+        "compiled",
+    )
+
+    def __init__(self, key, steps):
+        self.key = key
+        #: ``[(ChangeSet, changed Network)]``, cumulative.
+        self.steps = steps
+        #: ``step index -> Bonsai`` over that step's network (lazy).
+        self.bonsais: Dict[int, Bonsai] = {}
+        #: ``step index -> destination-independent compiled edges``.
+        self.base_compiled: Dict[int, Dict] = {}
+        #: ``step index -> unused-community set``.
+        self.ignore: Dict[int, frozenset] = {}
+        #: ``(ignore set, prefix) -> specialize_route_map memo``.  Scoped
+        #: per destination-and-ignore pair as the memo contract requires;
+        #: steps whose ignore set is unchanged share one memo, so route
+        #: maps shared across the copy-on-write step networks are
+        #: specialized once for the whole script.
+        self.spec_caches: Dict[Tuple[frozenset, object], Dict] = {}
+        #: ``step index -> (prefix, specialized compiled edges)``: a
+        #: single-entry memo per step (one class runs all its steps back
+        #: to back) shared by the SRP builds of both oracle arms and the
+        #: policy-key computation.
+        self.compiled: Dict[int, Tuple[object, Dict]] = {}
+
+    def network_for(self, step: int, baseline: Network) -> Network:
+        return baseline if step == _BASELINE_STEP else self.steps[step][1]
+
+    def compiled_for(self, step: int, baseline: Network, prefix) -> Dict:
+        """The destination-specialized compiled edges of one step's network."""
+        cached = self.compiled.get(step)
+        if cached is not None and cached[0] == prefix:
+            return cached[1]
+        network = self.network_for(step, baseline)
+        base = self.base_compiled.get(step)
+        if base is None:
+            base = self.base_compiled[step] = compile_base_edges(network)
+        compiled = specialize_compiled_edges(network, prefix, base)
+        self.compiled[step] = (prefix, compiled)
+        return compiled
+
+    def policy_keys(self, step: int, baseline: Network, prefix) -> Dict:
+        """The specialized syntactic policy keys of one step's network.
+
+        Every layer is cached: the base compilation and unused-community
+        set per step network, the specialized compilation per (step,
+        current class), and the route-map specialization memo per
+        (ignore set, destination) -- shared across steps, since the
+        copy-on-write views share the unchanged route-map and device
+        objects.
+        """
+        network = self.network_for(step, baseline)
+        ignore = self.ignore.get(step)
+        if ignore is None:
+            ignore = self.ignore[step] = network.unused_communities()
+        spec_cache = self.spec_caches.setdefault((ignore, prefix), {})
+        return syntactic_policy_keys(
+            network,
+            prefix,
+            self.compiled_for(step, baseline, prefix),
+            ignore,
+            specialize_cache=spec_cache,
+        )
+
+
+def _script_state(bonsai: Bonsai, script: Sequence[ChangeSet]) -> _ScriptState:
+    key = tuple(json.dumps(cs.to_dict(), sort_keys=True) for cs in script)
+    state = getattr(bonsai, "_delta_script_state", None)
+    if state is None or state.key != key:
+        steps = []
+        current = bonsai.network
+        for changeset in script:
+            current = changeset.apply(current)
+            steps.append((changeset, current))
+        state = _ScriptState(key, steps)
+        bonsai._delta_script_state = state
+    return state
+
+
+def _step_bonsai(state: _ScriptState, step: int, network: Network, use_bdds: bool):
+    """A lazy factory for the fresh Bonsai over one step's changed network."""
+
+    def factory() -> Bonsai:
+        bonsai = state.bonsais.get(step)
+        if bonsai is None:
+            bonsai = state.bonsais[step] = Bonsai(network, use_bdds=use_bdds)
+        return bonsai
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# The per-class "delta" task (runs inside pipeline workers)
+# ----------------------------------------------------------------------
+def _class_on(network: Network, prefix) -> Tuple[Optional[EquivalenceClass], bool]:
+    """The changed network's class for ``prefix``: ``(class, reshaped)``.
+
+    ``reshaped`` is True when the destination partition no longer has a
+    class at exactly this prefix (origination churn refined or merged the
+    trie); the most specific overlapping routable class stands in, so the
+    swept destination still gets verdicts.
+    """
+    classes = routable_equivalence_classes(network)
+    for candidate in classes:
+        if candidate.prefix == prefix:
+            return candidate, False
+    overlapping = [c for c in classes if c.prefix.overlaps(prefix)]
+    if not overlapping:
+        return None, True
+    return max(overlapping, key=lambda c: c.prefix.length), True
+
+
+def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict):
+    """Run every change step against one equivalence class."""
+    suite = PropertySuite.from_options(options)
+    script = [ChangeSet.from_dict(raw) for raw in options.get("script", [])]
+    oracle = bool(options.get("oracle", True))
+    revalidate_on = bool(options.get("revalidate", True))
+    rebuild_oracle = bool(options.get("rebuild_oracle", True))
+    max_rounds = int(options.get("max_rounds", 1000))
+
+    network: Network = bonsai.network
+    prefix = equivalence_class.prefix
+    origins = set(equivalence_class.origins)
+    specs = suite.specs()
+    nodes = sorted(network.graph.nodes, key=str)
+    node_names = [str(n) for n in nodes]
+    path_bound = (
+        suite.path_bound if suite.path_bound is not None else network.graph.num_nodes()
+    )
+    waypoints = (
+        frozenset(suite.waypoints)
+        if suite.waypoints is not None
+        else frozenset(str(origin) for origin in origins)
+    )
+
+    # -- unchanged baseline ----------------------------------------------
+    baseline_start = time.perf_counter()
+    compiled = bonsai.compile_for(prefix)
+    baseline_srp = build_srp_from_network(
+        network, prefix, origins, compiled=compiled, include_syntactic_keys=False
+    )
+    baseline_solution = solve(baseline_srp)
+    baseline_table = forwarding_table_from_solution(
+        network, baseline_solution, equivalence_class
+    )
+    baseline_verdicts = evaluate_suite(
+        specs, baseline_table, nodes, waypoints, path_bound
+    )
+    baseline_seconds = time.perf_counter() - baseline_start
+
+    state = _script_state(bonsai, script)
+
+    compression = None
+    baseline_signature = None
+    compression_seconds = 0.0
+    if revalidate_on:
+        compression = bonsai.compress(equivalence_class, build_network=True)
+        compression_seconds = compression.compression_seconds
+        baseline_signature = class_signature(
+            network,
+            prefix,
+            equivalence_class.origins,
+            keys=state.policy_keys(_BASELINE_STEP, network, prefix),
+        )
+
+    record = ClassDeltaRecord(
+        prefix=str(prefix),
+        origins=sorted(str(origin) for origin in origins),
+        baseline_seconds=baseline_seconds,
+        compression_seconds=compression_seconds,
+        baseline_failing={
+            prop: [n for n in node_names if not per_node[n]]
+            for prop, per_node in baseline_verdicts.items()
+        },
+    )
+
+    # The incremental chain: each step seeds from the previous step's
+    # solution, so a ten-step script never re-solves from scratch.
+    prev_step = _BASELINE_STEP
+    prev_network = network
+    prev_solution = baseline_solution
+    prev_origins = frozenset(str(origin) for origin in origins)
+    prev_prefix = prefix
+    prev_keys = None
+    prev_index = BaselineIndex.from_solution(baseline_solution)
+    #: Reuse-side lifted verdicts, fixed across steps by a matching
+    #: signature; computed at most once per class.
+    baseline_lifted = None
+
+    for step_index, (changeset, changed_network) in enumerate(state.steps):
+        outcome = ChangeOutcome(
+            step=changeset.name,
+            changes=[change.describe() for change in changeset.changes],
+        )
+        changed_ec, reshaped = _class_on(changed_network, prefix)
+        outcome.partition_changed = reshaped
+        # The delta universe is the *changed* network's nodes: devices a
+        # change removed drop out, devices it added are included (an
+        # added device failing a property is newly failing -- absent
+        # baseline nodes default to passing in verdict_delta).
+        surviving = sorted(str(n) for n in changed_network.graph.nodes)
+        # Default waypoints follow the *changed* class's origins (the batch
+        # verifier convention: origin sets are unions of abstraction
+        # groups by construction, arbitrary sets need not be); explicit
+        # suite waypoints are kept, restricted to surviving devices.
+        if suite.waypoints is None and changed_ec is not None:
+            step_waypoints = frozenset(str(o) for o in changed_ec.origins)
+        else:
+            step_waypoints = frozenset(
+                w for w in waypoints if changed_network.graph.has_node(w)
+            )
+
+        if changed_ec is None:
+            # Nothing originates the destination any more: no control
+            # plane to solve, every property trivially fails everywhere.
+            outcome.unroutable = True
+            empty = ForwardingTable(
+                destination=prefix,
+                origins=set(),
+                next_hops={node: set() for node in changed_network.graph.nodes},
+            )
+            verdicts = evaluate_suite(
+                specs, empty, changed_network.graph.nodes, step_waypoints, path_bound
+            )
+            outcome.newly_failing, outcome.newly_passing = verdict_delta(
+                baseline_verdicts, verdicts, surviving
+            )
+            record.steps.append(outcome)
+            prev_step = step_index
+            prev_network = changed_network
+            prev_solution = None
+            prev_keys = None
+            prev_index = None
+            continue
+
+        sim_prefix = changed_ec.prefix
+        sim_origins = set(changed_ec.origins)
+        sim_origin_names = frozenset(str(origin) for origin in sim_origins)
+        can_seed = (
+            prev_solution is not None
+            and sim_prefix == prev_prefix
+            and sim_origin_names == prev_origins
+        )
+        outcome.origins_changed = not can_seed
+
+        def build_changed_srp():
+            # Both oracle arms (and the policy-key computation) share one
+            # specialized compilation per (step, class) via the script
+            # state; compiling is destination-work a real rebuild pays
+            # once, not per arm.
+            return build_srp_from_network(
+                changed_network,
+                sim_prefix,
+                set(sim_origins),
+                compiled=state.compiled_for(step_index, network, sim_prefix),
+                include_syntactic_keys=False,
+            )
+
+        scratch_solution = None
+        if oracle or not can_seed:
+            scratch_srp = build_changed_srp()
+            scratch_start = time.perf_counter()
+            scratch_solution = solve(scratch_srp, max_rounds=max_rounds)
+            outcome.scratch_seconds = time.perf_counter() - scratch_start
+
+        new_keys = state.policy_keys(step_index, network, sim_prefix)
+        if not can_seed:
+            solution = scratch_solution
+        else:
+            if prev_keys is None:
+                prev_keys = state.policy_keys(prev_step, network, sim_prefix)
+            diff = diff_network_edges(
+                prev_network,
+                changed_network,
+                sim_prefix,
+                old_keys=prev_keys,
+                new_keys=new_keys,
+            )
+            outcome.edges_removed = len(diff.removed)
+            outcome.edges_added = len(diff.added)
+            outcome.edges_changed = len(diff.changed)
+            result = delta_resolve(
+                build_changed_srp(),
+                prev_solution,
+                diff,
+                index=prev_index,
+                max_rounds=max_rounds,
+            )
+            solution = result.solution
+            outcome.incremental_used = result.incremental_used
+            outcome.incremental_seconds = result.seconds
+            outcome.tainted = len(result.tainted)
+            outcome.dirty = result.dirty_count
+            if scratch_solution is not None:
+                matches = solution.labeling == scratch_solution.labeling
+                outcome.incremental_matches_scratch = matches
+                if not matches:
+                    outcome.divergent = [
+                        str(n) for n in divergent_nodes(solution, scratch_solution)
+                    ]
+
+        table = forwarding_table_from_solution(changed_network, solution, changed_ec)
+        verdicts = evaluate_suite(
+            specs, table, changed_network.graph.nodes, step_waypoints, path_bound
+        )
+        outcome.newly_failing, outcome.newly_passing = verdict_delta(
+            baseline_verdicts, verdicts, surviving
+        )
+        if outcome.newly_failing:
+            context = PropertyContext(
+                table=table, waypoints=step_waypoints, path_bound=path_bound
+            )
+            for spec in specs:
+                broken = outcome.newly_failing.get(spec.name)
+                if broken:
+                    witness = failure_witness(spec, context, broken[0])
+                    if witness is not None:
+                        outcome.witnesses[spec.name] = witness
+
+        if revalidate_on and compression is not None:
+            factory = _step_bonsai(
+                state, step_index, changed_network, bonsai.use_bdds
+            )
+            reval = revalidate_class(
+                compression,
+                baseline_signature,
+                changed_network,
+                changed_ec,
+                verdicts,
+                specs,
+                step_waypoints,
+                path_bound,
+                recompress_bonsai=factory,
+                changed_keys=new_keys,
+                baseline_lifted=baseline_lifted,
+            )
+            if reval.reused and baseline_lifted is None:
+                baseline_lifted = reval.lifted
+            outcome.reused = reval.reused
+            outcome.recompressed = reval.recompressed
+            outcome.revalidate_seconds = reval.seconds
+            outcome.recompress_seconds = reval.recompress_seconds
+            outcome.revalidation = reval.to_dict()
+            if reval.recompressed:
+                outcome.rebuild_compress_seconds = reval.recompress_seconds
+            elif rebuild_oracle:
+                # The abstraction was reused, so the incremental arm paid
+                # no compression.  Time what a full rebuild would have
+                # paid for the same answer -- a fresh per-class
+                # compression of the changed network plus the abstract
+                # re-verification on it (mirroring what the dirty path's
+                # ``recompress_seconds`` measures) -- for the report's
+                # speedup denominator.
+                rebuild_start = time.perf_counter()
+                rebuilt = factory().compress(changed_ec, build_network=True)
+                lifted_abstract_verdicts(
+                    rebuilt.abstraction,
+                    rebuilt.abstract_network,
+                    changed_ec,
+                    specs,
+                    surviving,
+                    step_waypoints,
+                    path_bound,
+                )
+                outcome.rebuild_compress_seconds = (
+                    time.perf_counter() - rebuild_start
+                )
+
+        record.steps.append(outcome)
+        prev_step = step_index
+        prev_network = changed_network
+        prev_solution = solution
+        prev_origins = sim_origin_names
+        prev_prefix = sim_prefix
+        prev_keys = new_keys
+        prev_index = (
+            BaselineIndex.from_solution(solution) if solution is not None else None
+        )
+
+    return record
+
+
+register_class_task("delta", "repro.delta.sweep:delta_class_task")
+
+
+# ----------------------------------------------------------------------
+# The sweep driver
+# ----------------------------------------------------------------------
+class DeltaSweep:
+    """Run a change script over every destination equivalence class.
+
+    Parameters mirror :class:`~repro.pipeline.core.ClassFanOut`
+    (``executor`` / ``workers`` / ``batch_size`` / ``limit`` /
+    ``use_bdds`` / ``artifact``), plus:
+
+    script:
+        The ordered change script: a sequence of
+        :class:`~repro.delta.changeset.ChangeSet` steps applied
+        cumulatively.  Every step is validated against the network state
+        the previous steps produce before any work is dispatched.
+    suite:
+        The :class:`~repro.analysis.batch.PropertySuite` to evaluate
+        (default: the full registered catalogue).
+    oracle:
+        Also scratch-solve every step and compare labelings (default
+        True -- the incremental solver's soundness gate and the source of
+        the reported speedup).
+    revalidate:
+        Run the per-step abstraction revalidator (default True).
+    rebuild_oracle:
+        When the abstraction is reused, additionally time a fresh
+        per-class compression so the incremental-vs-rebuild speedup has a
+        measured denominator (default True; disable for the fastest
+        possible smoke runs).
+    """
+
+    def __init__(
+        self,
+        network: Optional[Network] = None,
+        *,
+        artifact: Optional[EncodedNetwork] = None,
+        script: Sequence[ChangeSet] = (),
+        suite: Optional[PropertySuite] = None,
+        oracle: bool = True,
+        revalidate: bool = True,
+        rebuild_oracle: bool = True,
+        executor: str = "serial",
+        workers: int = 4,
+        batch_size: Optional[int] = None,
+        limit: Optional[int] = None,
+        use_bdds: bool = True,
+    ):
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if network is None and artifact is None:
+            raise ValueError("either a network or an EncodedNetwork is required")
+        self.network = artifact.network if artifact is not None else network
+        self.script: List[ChangeSet] = list(script)
+        if not self.script:
+            raise ValueError("a delta sweep needs at least one change step")
+        current = self.network
+        for changeset in self.script:
+            current = changeset.apply(current)  # raises ChangeError when invalid
+        self.suite = suite or PropertySuite.default()
+        self.oracle = oracle
+        self.revalidate = revalidate
+        self.rebuild_oracle = rebuild_oracle
+        self.executor = executor
+        self.workers = workers
+        self._fanout_kwargs = dict(
+            artifact=artifact,
+            executor=executor,
+            workers=workers,
+            batch_size=batch_size,
+            limit=limit,
+            use_bdds=use_bdds,
+        )
+
+    def run(self) -> DeltaReport:
+        start = time.perf_counter()
+        options = self.suite.to_options()
+        options["script"] = [changeset.to_dict() for changeset in self.script]
+        options["oracle"] = self.oracle
+        options["revalidate"] = self.revalidate
+        options["rebuild_oracle"] = self.rebuild_oracle
+        fanout = ClassFanOut(
+            self.network,
+            task="delta",
+            task_options=options,
+            **self._fanout_kwargs,
+        )
+        records: List[ClassDeltaRecord] = fanout.execute()
+        artifact = fanout.artifact
+        return DeltaReport(
+            network_name=fanout.network.name,
+            executor=self.executor,
+            workers=1 if self.executor == "serial" else self.workers,
+            num_classes=len(fanout.last_classes),
+            num_steps=len(self.script),
+            properties=list(self.suite.names),
+            path_bound=self.suite.path_bound,
+            oracle=self.oracle,
+            revalidate=self.revalidate,
+            rebuild_oracle=self.rebuild_oracle,
+            encode_seconds=artifact.encode_seconds,
+            total_seconds=time.perf_counter() - start,
+            step_names=[changeset.name for changeset in self.script],
+            records=records,
+        )
+
+
+def sweep_changes(
+    network: Network,
+    script: Sequence[ChangeSet],
+    properties: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> DeltaReport:
+    """One-call change-impact sweep (serial by default)."""
+    suite = (
+        PropertySuite.default()
+        if properties is None
+        else PropertySuite.from_names(properties)
+    )
+    return DeltaSweep(network, script=script, suite=suite, **kwargs).run()

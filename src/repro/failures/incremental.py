@@ -35,8 +35,8 @@ every scenario.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import FrozenSet, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.srp.instance import SRP
 from repro.srp.solution import Solution
@@ -67,12 +67,31 @@ class BaselineIndex:
     comparisons per edge; a sweep re-solving hundreds of scenarios against
     one baseline builds this index once and answers each taint query with
     set lookups only.
+
+    The index also memoises whole taint-query *results*: failure sweeps
+    and change sweeps ask about the same ``(removed, changed)`` element
+    sets repeatedly (every class of a sweep replays the same scenario
+    list).  The memo is bounded like the solver's
+    :class:`~repro.srp.solver.TransferCache` -- cleared wholesale on
+    overflow, hit/miss/overflow counters exposed via :meth:`cache_info` --
+    so one long-lived index can serve thousands of queries without
+    unbounded growth.
     """
+
+    #: Maximum retained taint-query results (clear-on-overflow).
+    TAINT_CACHE_LIMIT = 4096
 
     #: ``node -> its baseline forwarding edges``.
     forwarding: dict
     #: ``node -> upstream nodes whose forwarding points at it``.
     forwarding_preds: dict
+    #: ``(removed edges, removed nodes) -> frozen taint set`` (bounded).
+    _taint_cache: Dict[Tuple[FrozenSet[Edge], FrozenSet[Node]], FrozenSet[Node]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _taint_hits: int = field(default=0, repr=False, compare=False)
+    _taint_misses: int = field(default=0, repr=False, compare=False)
+    _taint_overflows: int = field(default=0, repr=False, compare=False)
 
     @classmethod
     def from_solution(cls, baseline: Solution) -> "BaselineIndex":
@@ -87,6 +106,45 @@ class BaselineIndex:
             for _, neighbour in edges:
                 preds.setdefault(neighbour, []).append(node)
         return cls(forwarding=forwarding, forwarding_preds=preds)
+
+    def cached_taint(
+        self, removed_edges: FrozenSet[Edge], removed_nodes: FrozenSet[Node]
+    ) -> Optional[FrozenSet[Node]]:
+        """The memoised taint set for a query, or ``None`` on a miss."""
+        try:
+            result = self._taint_cache.get((removed_edges, removed_nodes))
+        except TypeError:  # unhashable custom node types: skip the memo
+            return None
+        if result is None:
+            self._taint_misses += 1
+            return None
+        self._taint_hits += 1
+        return result
+
+    def store_taint(
+        self,
+        removed_edges: FrozenSet[Edge],
+        removed_nodes: FrozenSet[Node],
+        tainted: FrozenSet[Node],
+    ) -> None:
+        """Record a taint-query result (clear-on-overflow, best effort)."""
+        if len(self._taint_cache) >= self.TAINT_CACHE_LIMIT:
+            self._taint_cache.clear()
+            self._taint_overflows += 1
+        try:
+            self._taint_cache[(removed_edges, removed_nodes)] = tainted
+        except TypeError:
+            pass
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the taint-query memo."""
+        return {
+            "size": len(self._taint_cache),
+            "limit": self.TAINT_CACHE_LIMIT,
+            "hits": self._taint_hits,
+            "misses": self._taint_misses,
+            "overflows": self._taint_overflows,
+        }
 
 
 def tainted_nodes(
@@ -105,6 +163,10 @@ def tainted_nodes(
     """
     if index is None:
         index = BaselineIndex.from_solution(baseline)
+    else:
+        cached = index.cached_taint(removed_edges, frozenset(removed_nodes))
+        if cached is not None:
+            return set(cached)
     seeds: Set[Node] = set()
     for node, edges in index.forwarding.items():
         if node in removed_nodes:
@@ -123,6 +185,7 @@ def tainted_nodes(
                 tainted.add(upstream)
                 frontier.append(upstream)
     tainted.discard(baseline.srp.destination)
+    index.store_taint(removed_edges, frozenset(removed_nodes), frozenset(tainted))
     return tainted
 
 

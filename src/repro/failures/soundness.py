@@ -44,11 +44,8 @@ from repro.analysis.dataplane import compute_forwarding_table
 from repro.analysis.properties import PropertyContext, PropertySpec
 from repro.config.network import Network
 from repro.config.transfer import VIRTUAL_DESTINATION
+from repro.analysis.properties import VerdictMap
 from repro.failures.scenario import FailureScenario, canonical_link
-
-#: ``{property: {concrete node: holds}}`` -- the wire form the sweep and
-#: this checker exchange verdicts in.
-VerdictMap = Dict[str, Dict[str, bool]]
 
 
 @dataclass

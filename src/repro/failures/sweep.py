@@ -42,7 +42,13 @@ from repro.analysis.dataplane import (
     ForwardingTable,
     forwarding_table_from_solution,
 )
-from repro.analysis.properties import PropertyContext, failure_witness
+from repro.analysis.properties import (
+    PropertyContext,
+    VerdictMap,
+    evaluate_suite,
+    failure_witness,
+    verdict_delta,
+)
 from repro.config.network import Network
 from repro.config.transfer import build_srp_from_network
 from repro.failures.incremental import (
@@ -58,9 +64,6 @@ from repro.srp.solver import TransferCache, solve
 
 #: Format version of the JSON failure reports.
 FAILURE_REPORT_VERSION = 1
-
-#: ``{property: {node: holds}}``.
-VerdictMap = Dict[str, Dict[str, bool]]
 
 
 # ----------------------------------------------------------------------
@@ -128,6 +131,8 @@ class ClassFailureRecord:
     baseline_seconds: float
     compression_seconds: float
     baseline_failing: Dict[str, List[str]] = field(default_factory=dict)
+    #: Every node verdicts were evaluated on (the k-resilience universe).
+    nodes: List[str] = field(default_factory=list)
     scenarios: List[ScenarioOutcome] = field(default_factory=list)
 
     def canonical(self) -> Tuple:
@@ -156,6 +161,10 @@ class FailureReport:
     encode_seconds: float
     total_seconds: float
     scenario_names: List[str] = field(default_factory=list)
+    #: Whether the scenario list covers *every* ``≤k`` failure (False under
+    #: sampling or an explicit scenario list): k-resilience verdicts are
+    #: only proofs when it does.
+    exhaustive: bool = False
     records: List[ClassFailureRecord] = field(default_factory=list)
     version: int = FAILURE_REPORT_VERSION
 
@@ -242,6 +251,67 @@ class FailureReport:
                     first[prop] = outcome.scenario
         return first
 
+    def k_resilience(self, prop: str = "reachability") -> Dict[str, object]:
+        """Evaluate "``prop`` holds under every ≤k cut" over the sweep records.
+
+        A node is *k-resilient* for a destination class when the property
+        holds on it at the failure-free baseline and no swept scenario
+        newly breaks it; fragile nodes are reported with the first
+        scenario (sweep order) that breaks them.  The verdict is evaluated
+        directly on the existing records -- no extra simulation -- and is
+        a proof only when the sweep enumerated exhaustively
+        (``complete=True``); under sampling it is an upper bound on
+        resilience.
+        """
+        order = {name: index for index, name in enumerate(self.scenario_names)}
+        per_class: Dict[str, Dict[str, object]] = {}
+        for record in self.records:
+            baseline_failing = set(record.baseline_failing.get(prop, []))
+            # The node universe: recorded explicitly; reports written
+            # before the field existed fall back to the nodes the verdict
+            # lists mention (an under-approximation).
+            candidates = set(record.nodes)
+            for nodes in record.baseline_failing.values():
+                candidates.update(nodes)
+            first_break: Dict[str, str] = {}
+            for outcome in record.scenarios:
+                for node in outcome.newly_failing.get(prop, []):
+                    candidates.add(node)
+                    current = first_break.get(node)
+                    if current is None or order.get(outcome.scenario, 1 << 30) < order.get(
+                        current, 1 << 30
+                    ):
+                        first_break[node] = outcome.scenario
+            fragile = {
+                node: scenario
+                for node, scenario in first_break.items()
+                if node not in baseline_failing
+            }
+            resilient = sorted(
+                node
+                for node in candidates
+                if node not in baseline_failing and node not in fragile
+            )
+            per_class[record.prefix] = {
+                "resilient": resilient,
+                "fragile": {node: fragile[node] for node in sorted(fragile)},
+                "baseline_failing": sorted(baseline_failing),
+            }
+        return {
+            "property": prop,
+            "k": self.k,
+            "complete": bool(self.exhaustive),
+            "per_class": per_class,
+        }
+
+    def k_resilient_nodes(self, prop: str = "reachability") -> Dict[str, List[str]]:
+        """Per destination class: the nodes on which ``prop`` survives every
+        swept ≤k cut (see :meth:`k_resilience` for the exact semantics)."""
+        return {
+            prefix: list(entry["resilient"])
+            for prefix, entry in self.k_resilience(prop)["per_class"].items()
+        }
+
     def property_failure_counts(self) -> Dict[str, int]:
         """Per property: how many (class, scenario) pairs newly fail it."""
         counts = {name: 0 for name in self.properties}
@@ -278,6 +348,8 @@ class FailureReport:
             "first_failing_scenario": self.first_failing_scenario(),
             "property_failure_counts": self.property_failure_counts(),
         }
+        if "reachability" in self.properties:
+            data["aggregate"]["k_resilience"] = self.k_resilience()
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -338,38 +410,26 @@ class FailureReport:
                 f"  {prop}: "
                 + ("survives every scenario" if scenario is None else f"first broken by {scenario}")
             )
+        if "reachability" in self.properties:
+            resilience = self.k_resilience()
+            resilient = sum(
+                len(entry["resilient"]) for entry in resilience["per_class"].values()
+            )
+            fragile = sum(
+                len(entry["fragile"]) for entry in resilience["per_class"].values()
+            )
+            qualifier = "" if resilience["complete"] else " (sampled: upper bound only)"
+            lines.append(
+                f"{self.k}-resilience (reachability under every <={self.k} cut): "
+                f"{resilient} (class, node) pairs resilient, {fragile} fragile"
+                f"{qualifier}"
+            )
         return lines
 
 
 # ----------------------------------------------------------------------
 # The per-class "failures" task (runs inside pipeline workers)
 # ----------------------------------------------------------------------
-def _evaluate_suite(specs, table: ForwardingTable, nodes, waypoints, path_bound) -> VerdictMap:
-    context = PropertyContext(
-        table=table, waypoints=frozenset(waypoints), path_bound=path_bound
-    )
-    return {
-        spec.name: {str(node): spec.evaluate(context, node).holds for node in nodes}
-        for spec in specs
-    }
-
-
-def _verdict_delta(
-    baseline: VerdictMap, current: VerdictMap, nodes
-) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
-    newly_failing: Dict[str, List[str]] = {}
-    newly_passing: Dict[str, List[str]] = {}
-    for prop, per_node in current.items():
-        base = baseline.get(prop, {})
-        failing = [n for n in nodes if base.get(n, True) and not per_node[n]]
-        passing = [n for n in nodes if not base.get(n, True) and per_node[n]]
-        if failing:
-            newly_failing[prop] = failing
-        if passing:
-            newly_passing[prop] = passing
-    return newly_failing, newly_passing
-
-
 def failure_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict):
     """Run every failure scenario against one equivalence class."""
     suite = PropertySuite.from_options(options)
@@ -406,7 +466,7 @@ def failure_class_task(bonsai, equivalence_class: EquivalenceClass, options: dic
     baseline_table = forwarding_table_from_solution(
         network, baseline_solution, equivalence_class
     )
-    baseline_verdicts = _evaluate_suite(
+    baseline_verdicts = evaluate_suite(
         specs, baseline_table, nodes, waypoints, path_bound
     )
     baseline_seconds = time.perf_counter() - baseline_start
@@ -458,6 +518,7 @@ def failure_class_task(bonsai, equivalence_class: EquivalenceClass, options: dic
             prop: [n for n in node_names if not per_node[n]]
             for prop, per_node in baseline_verdicts.items()
         },
+        nodes=list(node_names),
         scenarios=outcomes,
     )
 
@@ -506,10 +567,10 @@ def _run_scenario(
             origins=set(),
             next_hops={node: set() for node in failed_network.graph.nodes},
         )
-        verdicts = _evaluate_suite(
+        verdicts = evaluate_suite(
             specs, empty, failed_network.graph.nodes, waypoints, path_bound
         )
-        outcome.newly_failing, outcome.newly_passing = _verdict_delta(
+        outcome.newly_failing, outcome.newly_passing = verdict_delta(
             baseline_verdicts, verdicts, surviving
         )
         return outcome
@@ -570,10 +631,10 @@ def _run_scenario(
 
     table = forwarding_table_from_solution(failed_network, solution, failed_ec)
     scenario_waypoints = frozenset(w for w in waypoints if w not in scenario.nodes)
-    verdicts = _evaluate_suite(
+    verdicts = evaluate_suite(
         specs, table, failed_network.graph.nodes, scenario_waypoints, path_bound
     )
-    outcome.newly_failing, outcome.newly_passing = _verdict_delta(
+    outcome.newly_failing, outcome.newly_passing = verdict_delta(
         baseline_verdicts, verdicts, surviving
     )
     if outcome.newly_failing:
@@ -667,6 +728,7 @@ class FailureSweep:
         self.network = artifact.network if artifact is not None else network
         self.k = k
         if scenarios is None:
+            self.exhaustive = sample is None
             scenarios = scenarios_for(
                 self.network,
                 k=k,
@@ -675,6 +737,7 @@ class FailureSweep:
                 include_nodes=include_nodes,
             )
         else:
+            self.exhaustive = False
             scenarios = list(scenarios)
             for scenario in scenarios:
                 scenario.assert_valid(self.network)
@@ -723,6 +786,7 @@ class FailureSweep:
             encode_seconds=artifact.encode_seconds,
             total_seconds=time.perf_counter() - start,
             scenario_names=[s.name for s in self.scenarios],
+            exhaustive=self.exhaustive,
             records=records,
         )
 

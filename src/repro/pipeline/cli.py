@@ -34,6 +34,19 @@ verdict disagreement::
 Sample 50 double-failure scenarios of a WAN deterministically::
 
     python -m repro.pipeline --failures --family wan --k 2 --sample 50
+
+Validate a what-if change script against a fat-tree: per-change verdict
+diffs vs the unchanged baseline, which change first breaks which
+property, and which classes were re-verified *without* re-compressing
+(abstraction reuse); exit status 1 on any incremental divergence or
+abstract verdict disagreement::
+
+    python -m repro.pipeline --delta --family fattree \
+        --changes changes.json --report-out delta_report.json
+
+Run the generated per-family change scenarios instead of a script file::
+
+    python -m repro.pipeline --delta --family ring --changes generated
 """
 
 from __future__ import annotations
@@ -110,9 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--output",
+        "--report-out",
+        dest="output",
         default=None,
-        help="write the JSON report to this file (a single PipelineReport/"
-        "VerificationReport; with --family all, a {family: report} map)",
+        help="write the JSON report to this file (a single report object; "
+        "with --family all, a {family: report} map).  Every mode "
+        "(compress, --verify, --failures, --delta) follows this one "
+        "convention.",
     )
     parser.add_argument(
         "--per-class", action="store_true", help="also print one line per class"
@@ -192,6 +209,42 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the per-scenario abstraction-soundness checker",
     )
+
+    delta = parser.add_argument_group("change-impact sweeps (--delta)")
+    delta.add_argument(
+        "--delta",
+        action="store_true",
+        help="validate a configuration change script: incremental "
+        "re-verify of every change step (scratch-oracle checked), "
+        "per-property verdict deltas vs the unchanged baseline, and "
+        "per-class abstraction revalidation (reuse vs re-compress)",
+    )
+    delta.add_argument(
+        "--changes",
+        default=None,
+        metavar="FILE|generated",
+        help="JSON change script (a list of change sets, a single change "
+        "set, or {\"script\": [...]}), or the literal 'generated' for the "
+        "deterministic per-family change scenarios (the default)",
+    )
+    delta.add_argument(
+        "--steps",
+        type=int,
+        default=None,
+        help="cap the generated change script at this many steps "
+        "(default: per-family)",
+    )
+    delta.add_argument(
+        "--no-revalidate",
+        action="store_true",
+        help="skip the per-step abstraction revalidator",
+    )
+    delta.add_argument(
+        "--no-rebuild-oracle",
+        action="store_true",
+        help="skip timing the full-rebuild arm when the abstraction is "
+        "reused (faster; the reported speedup loses its denominator)",
+    )
     return parser
 
 
@@ -235,6 +288,32 @@ def _write_output(path: str, text: str) -> bool:
         return False
     print(f"  report written to {path}")
     return True
+
+
+def _emit_reports(args, reports) -> bool:
+    """The one ``--report-out`` convention shared by every mode.
+
+    A single report is written as itself, several as a ``{family:
+    report}`` map; any report object with ``to_json``/``to_dict`` fits.
+    Returns False when the file cannot be written (the caller turns that
+    into exit status 1).
+    """
+    if not args.output:
+        return True
+    if len(reports) == 1:
+        text = next(iter(reports.values())).to_json()
+    else:
+        text = json.dumps(
+            {family: report.to_dict() for family, report in reports.items()},
+            indent=2,
+            sort_keys=True,
+        )
+    return _write_output(args.output, text)
+
+
+def _report_status(failed: bool, emitted: bool) -> int:
+    """The one exit-code convention: 1 on any gate failure or write error."""
+    return 1 if (failed or not emitted) else 0
 
 
 def _run_verify(args, families: List[str]) -> int:
@@ -306,26 +385,12 @@ def _run_verify(args, families: List[str]) -> int:
                     f"abstract {record.abstract_seconds:.4f}s)"
                 )
 
-    if args.output:
-        if len(reports) == 1:
-            text = next(iter(reports.values())).to_json()
-        else:
-            text = json.dumps(
-                {family: report.to_dict() for family, report in reports.items()},
-                indent=2,
-                sort_keys=True,
-            )
-        if not _write_output(args.output, text):
-            return 1
-    return 1 if (diverged or timed_out) else 0
+    return _report_status(diverged or timed_out, _emit_reports(args, reports))
 
 
 def _run_failures(args, families: List[str]) -> int:
     from repro.failures import FailureSweep
 
-    if args.timeout is not None:
-        print("error: --timeout is only supported with --verify", file=sys.stderr)
-        return 2
     try:
         suite = _build_suite(args)
     except ValueError as exc:
@@ -378,18 +443,90 @@ def _run_failures(args, families: List[str]) -> int:
                     f"scenarios change a verdict"
                 )
 
-    if args.output:
-        if len(reports) == 1:
-            text = next(iter(reports.values())).to_json()
-        else:
-            text = json.dumps(
-                {family: report.to_dict() for family, report in reports.items()},
-                indent=2,
-                sort_keys=True,
+    return _report_status(failed, _emit_reports(args, reports))
+
+
+def _run_delta(args, families: List[str]) -> int:
+    from repro.delta import ChangeError, DeltaSweep, load_change_script
+    from repro.netgen.changes import default_change_steps, generated_change_script
+
+    try:
+        suite = _build_suite(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    file_script = None
+    if args.changes is not None and args.changes != "generated":
+        misused = [
+            flag
+            for flag, value in (("--steps", args.steps), ("--seed", args.seed))
+            if value is not None
+        ]
+        if misused:
+            print(
+                f"error: {', '.join(misused)} only apply(ies) to generated "
+                "change scripts, not --changes FILE",
+                file=sys.stderr,
             )
-        if not _write_output(args.output, text):
+            return 2
+        try:
+            with open(args.changes, "r", encoding="utf-8") as handle:
+                file_script = load_change_script(handle.read())
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load change script {args.changes}: {exc}", file=sys.stderr)
+            return 2
+
+    reports = {}
+    failed = False
+    for family in families:
+        size = args.size if args.size is not None else default_size(family)
+        network = build_topology(family, size)
+        if file_script is not None:
+            script = file_script
+        else:
+            steps = (
+                args.steps if args.steps is not None else default_change_steps(family)
+            )
+            script = generated_change_script(
+                network, family, steps=steps, seed=args.seed if args.seed is not None else 0
+            )
+        try:
+            sweep = DeltaSweep(
+                network,
+                script=script,
+                suite=suite,
+                oracle=not args.no_oracle,
+                revalidate=not args.no_revalidate,
+                rebuild_oracle=not args.no_rebuild_oracle,
+                executor=args.executor,
+                workers=args.workers,
+                batch_size=args.batch_size,
+                limit=args.limit,
+                use_bdds=not args.syntactic,
+            )
+            report = sweep.run()
+        except ChangeError as exc:
+            print(f"invalid change script for {family}({size}): {exc}", file=sys.stderr)
+            return 2
+        except PipelineError as exc:
+            print(f"change sweep failed: {exc}", file=sys.stderr)
             return 1
-    return 1 if failed else 0
+        reports[family] = report
+        failed = failed or not report.ok()
+        print(f"== change-impact sweep: {family}({size}) ==")
+        for line in report.summary_lines():
+            print(f"  {line}")
+        if args.per_class:
+            for record in report.records:
+                broken = sum(1 for outcome in record.steps if outcome.newly_failing)
+                reused = sum(1 for outcome in record.steps if outcome.reused)
+                print(
+                    f"  {record.prefix}: {broken}/{len(record.steps)} steps "
+                    f"change a verdict, {reused} reused the abstraction"
+                )
+
+    return _report_status(failed, _emit_reports(args, reports))
 
 
 def _run_compress(args, family: str) -> int:
@@ -436,51 +573,61 @@ def main(argv: Optional[List[str]] = None) -> int:
     if families is None:
         return 2
     try:
-        if args.verify and args.failures:
-            print("error: pass either --verify or --failures, not both", file=sys.stderr)
+        modes = [
+            flag
+            for flag, on in (
+                ("--verify", args.verify),
+                ("--failures", args.failures),
+                ("--delta", args.delta),
+            )
+            if on
+        ]
+        if len(modes) > 1:
+            print(
+                f"error: pass at most one of {', '.join(modes)}", file=sys.stderr
+            )
             return 2
+        mode = modes[0] if modes else None
+        # Every mode-specific flag names the modes it is valid in; a flag
+        # given outside them is an error in *any* mode (not just the
+        # compress default), so "--failures --changes x.json" cannot run
+        # a failure sweep while silently dropping the change script.
+        flag_modes = (
+            ("--properties", args.properties, ("--verify", "--failures", "--delta")),
+            ("--path-bound", args.path_bound, ("--verify", "--failures", "--delta")),
+            ("--waypoints", args.waypoints, ("--verify", "--failures", "--delta")),
+            ("--timeout", args.timeout, ("--verify",)),
+            ("--k", args.k, ("--failures",)),
+            ("--sample", args.sample, ("--failures",)),
+            ("--fail-nodes", args.fail_nodes or None, ("--failures",)),
+            ("--no-soundness", args.no_soundness or None, ("--failures",)),
+            ("--seed", args.seed, ("--failures", "--delta")),
+            ("--no-oracle", args.no_oracle or None, ("--failures", "--delta")),
+            ("--changes", args.changes, ("--delta",)),
+            ("--steps", args.steps, ("--delta",)),
+            ("--no-revalidate", args.no_revalidate or None, ("--delta",)),
+            ("--no-rebuild-oracle", args.no_rebuild_oracle or None, ("--delta",)),
+        )
+        for flag, value, allowed in flag_modes:
+            if value is not None and mode not in allowed:
+                print(
+                    f"error: {flag} requires "
+                    + " or ".join(allowed)
+                    + (f" (got {mode})" if mode else ""),
+                    file=sys.stderr,
+                )
+                return 2
         if args.verify:
             return _run_verify(args, families)
         if args.failures:
             return _run_failures(args, families)
-        misused = [
-            flag
-            for flag, value in (
-                ("--properties", args.properties),
-                ("--path-bound", args.path_bound),
-                ("--waypoints", args.waypoints),
-            )
-            if value is not None
-        ]
-        if misused:
-            print(
-                f"error: {', '.join(misused)} require(s) --verify or --failures",
-                file=sys.stderr,
-            )
-            return 2
-        if args.timeout is not None:
-            print("error: --timeout requires --verify", file=sys.stderr)
-            return 2
-        misused_failures = [
-            flag
-            for flag, value in (
-                ("--k", args.k),
-                ("--sample", args.sample),
-                ("--seed", args.seed),
-                ("--fail-nodes", args.fail_nodes or None),
-                ("--no-oracle", args.no_oracle or None),
-                ("--no-soundness", args.no_soundness or None),
-            )
-            if value is not None
-        ]
-        if misused_failures:
-            print(
-                f"error: {', '.join(misused_failures)} require(s) --failures",
-                file=sys.stderr,
-            )
-            return 2
+        if args.delta:
+            return _run_delta(args, families)
         if len(families) > 1:
-            print("error: --family all requires --verify or --failures", file=sys.stderr)
+            print(
+                "error: --family all requires --verify, --failures or --delta",
+                file=sys.stderr,
+            )
             return 2
         return _run_compress(args, families[0])
     except ValueError as exc:

@@ -460,6 +460,59 @@ class TestFailureSweep:
 
 
 # ----------------------------------------------------------------------
+# k-resilience over the sweep records
+# ----------------------------------------------------------------------
+class TestKResilience:
+    def test_chain_has_no_resilient_node(self):
+        """Every node of a chain depends on every downstream link."""
+        report = FailureSweep(
+            chain_network(5), k=1, executor="serial", soundness=False
+        ).run()
+        resilience = report.k_resilience()
+        assert resilience["complete"] is True and resilience["k"] == 1
+        entry = resilience["per_class"][report.records[0].prefix]
+        # Only the origin itself (which reaches itself trivially) survives
+        # every cut; every transit node depends on its downstream chain.
+        assert entry["resilient"] == ["r4"]
+        # r0's first break is losing its only link (sweep order).
+        assert entry["fragile"]["r0"] == "link:r0|r1"
+        assert set(entry["fragile"]) == {"r0", "r1", "r2", "r3"}
+
+    def test_fattree_single_link_resilience(self):
+        """Multipath fabrics survive any single cut except origin stubs."""
+        network = build_topology("fattree", 4)
+        report = FailureSweep(
+            network, k=1, executor="serial", soundness=False, limit=2
+        ).run()
+        for record in report.records:
+            entry = report.k_resilience()["per_class"][record.prefix]
+            # The fabric is 2-connected above the edge tier: most nodes
+            # keep reachability under every single-link cut.
+            assert entry["resilient"], (record.prefix, entry)
+        assert report.k_resilient_nodes()  # convenience accessor agrees
+        aggregate = report.to_dict()["aggregate"]
+        assert aggregate["k_resilience"]["complete"] is True
+
+    def test_sampled_sweeps_are_flagged_incomplete(self):
+        network = build_topology("mesh", 6)
+        report = FailureSweep(
+            network, k=2, sample=5, executor="serial", soundness=False, limit=1
+        ).run()
+        assert report.exhaustive is False
+        assert report.k_resilience()["complete"] is False
+        assert any(
+            "upper bound" in line for line in report.summary_lines()
+        )
+
+    def test_resilience_survives_json_roundtrip(self):
+        report = FailureSweep(
+            chain_network(4), k=1, executor="serial", soundness=False
+        ).run()
+        restored = FailureReport.from_json(report.to_json())
+        assert restored.k_resilience() == report.k_resilience()
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 class TestFailuresCli:

@@ -7,6 +7,8 @@ import pytest
 
 from repro.abstraction.ec import routable_equivalence_classes
 from repro.config.transfer import build_srp_from_network
+from repro.failures.incremental import BaselineIndex, tainted_nodes
+from repro.failures.scenario import link_scenario, undirected_links
 from repro.netgen.families import build_topology
 from repro.srp.solver import TransferCache, solve
 from repro.topology.graph import Graph
@@ -122,6 +124,55 @@ class TestNetworkTransferEvalCache:
         fresh_srp, _ = self._transfer(network)
         for edge in list(srp.graph.edges)[:10]:
             assert srp.transfer(edge, None) == fresh_srp.transfer(edge, None)
+
+
+# ----------------------------------------------------------------------
+# BaselineIndex taint-query memo (bounded like TransferCache)
+# ----------------------------------------------------------------------
+class TestBaselineIndexTaintCache:
+    def _index(self, family="ring", size=6):
+        network = build_topology(family, size)
+        ec = routable_equivalence_classes(network)[0]
+        baseline = solve(build_srp_from_network(network, ec.prefix, set(ec.origins)))
+        return network, baseline, BaselineIndex.from_solution(baseline)
+
+    def test_cache_info_counts_hits_and_misses(self):
+        network, baseline, index = self._index()
+        assert index.cache_info() == {
+            "size": 0,
+            "limit": BaselineIndex.TAINT_CACHE_LIMIT,
+            "hits": 0,
+            "misses": 0,
+            "overflows": 0,
+        }
+        removed = link_scenario(*undirected_links(network)[0]).directed_edges(
+            network.graph
+        )
+        first = tainted_nodes(baseline, removed, index=index)
+        info = index.cache_info()
+        assert info["misses"] == 1 and info["size"] == 1
+        second = tainted_nodes(baseline, removed, index=index)
+        assert second == first
+        assert index.cache_info()["hits"] == 1
+
+    def test_clear_on_overflow(self):
+        network, baseline, index = self._index()
+        index.TAINT_CACHE_LIMIT = 2  # instance-level override
+        for link in undirected_links(network)[:4]:
+            removed = link_scenario(*link).directed_edges(network.graph)
+            tainted_nodes(baseline, removed, index=index)
+        info = index.cache_info()
+        assert info["overflows"] > 0
+        assert info["size"] <= 2
+
+    def test_cached_results_match_fresh_computation(self):
+        network, baseline, index = self._index("fattree", 4)
+        for link in undirected_links(network)[:6]:
+            removed = link_scenario(*link).directed_edges(network.graph)
+            warmed = tainted_nodes(baseline, removed, index=index)
+            again = tainted_nodes(baseline, removed, index=index)  # memo hit
+            fresh = tainted_nodes(baseline, removed)  # no index, no memo
+            assert warmed == again == fresh
 
 
 # ----------------------------------------------------------------------

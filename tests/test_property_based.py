@@ -1,6 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.abstraction import UnionSplitFind, compute_abstraction, check_effective, check_cp_equivalence
 from repro.analysis import BatchVerifier, VerificationReport
@@ -246,6 +246,19 @@ def perturbed_bgp_networks(draw):
         route_map = _DENY_IN if draw(st.booleans()) else _PREF_IN
         device.route_maps[route_map.name] = route_map
         device.bgp_neighbors[peer].import_policy = route_map.name
+    # Random local-pref bumps can assemble a dispute-wheel gadget whose
+    # synchronous solve oscillates forever; ConvergenceError is the
+    # solver's documented answer there, not an executor-parity bug, so
+    # reject oscillators rather than feed them to the parity tests.
+    from repro.abstraction.ec import routable_equivalence_classes
+    from repro.config.transfer import build_srp_from_network
+    from repro.srp.solver import ConvergenceError
+
+    try:
+        for ec in routable_equivalence_classes(network):
+            solve(build_srp_from_network(network, ec.prefix, set(ec.origins)))
+    except ConvergenceError:
+        assume(False)
     return network
 
 
