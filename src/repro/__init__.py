@@ -76,6 +76,19 @@ from repro.pipeline import (
 from repro.srp import SRP, Solution, solve
 from repro.topology import Graph
 
+# The store / facade / service layers import the analysis modules above,
+# so they come last (absolute imports keep this cycle-free regardless).
+from repro.reporting import ReportEnvelope, load_report, register_report
+from repro.store import (
+    ArtifactStore,
+    BaselineArtifact,
+    ClassBaseline,
+    StoreError,
+    network_fingerprint,
+)
+from repro.api import Session
+from repro.serve import VerificationService, warm_service
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -129,5 +142,16 @@ __all__ = [
     "Solution",
     "solve",
     "Graph",
+    "ReportEnvelope",
+    "load_report",
+    "register_report",
+    "ArtifactStore",
+    "BaselineArtifact",
+    "ClassBaseline",
+    "StoreError",
+    "network_fingerprint",
+    "Session",
+    "VerificationService",
+    "warm_service",
     "__version__",
 ]

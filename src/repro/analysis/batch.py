@@ -56,6 +56,7 @@ from repro.analysis.verifier import VerificationTimeout
 from repro.config.network import Network
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
+from repro.reporting import ReportEnvelope, register_report
 
 #: Format version for the JSON verification reports.
 VERIFICATION_REPORT_VERSION = 1
@@ -221,14 +222,17 @@ class ClassVerificationRecord:
 # ----------------------------------------------------------------------
 # Aggregated report
 # ----------------------------------------------------------------------
+@register_report
 @dataclass
-class VerificationReport:
+class VerificationReport(ReportEnvelope):
     """Run-level aggregation of every per-class verification record.
 
     ``speedup`` is the paper-style headline number: total concrete
     verification seconds over total abstract seconds, where the abstract
     side *includes* the compression time (as in Figure 12).
     """
+
+    kind = "verification"
 
     network_name: str
     executor: str
@@ -306,11 +310,16 @@ class VerificationReport:
             for record in sorted(self.records, key=lambda r: r.prefix)
         )
 
+    def ok(self) -> bool:
+        """The report-level gate: verdicts agree and nothing timed out."""
+        return self.verdicts_agree() and not self.timed_out
+
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         data = asdict(self)
+        data.update(self.envelope_dict())
         data["aggregate"] = {
             "concrete_seconds": self.concrete_seconds,
             "abstract_seconds": self.abstract_seconds,
@@ -325,7 +334,7 @@ class VerificationReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "VerificationReport":
-        payload = dict(data)
+        payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
         records = []
         for raw in payload.pop("records", []):

@@ -58,10 +58,11 @@ from repro.delta.changeset import ChangeSet
 from repro.delta.incremental import delta_resolve, diff_network_edges
 from repro.delta.revalidate import class_signature, revalidate_class
 from repro.failures.incremental import BaselineIndex, divergent_nodes
+from repro.reporting import ReportEnvelope, register_report
 from repro.failures.soundness import lifted_abstract_verdicts
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
-from repro.srp.solver import solve
+from repro.srp.solver import ConvergenceError, TransferCache, solve, solve_seeded
 
 #: Format version of the JSON delta reports.
 DELTA_REPORT_VERSION = 1
@@ -148,6 +149,10 @@ class ClassDeltaRecord:
     compression_seconds: float
     baseline_failing: Dict[str, List[str]] = field(default_factory=dict)
     steps: List[ChangeOutcome] = field(default_factory=list)
+    #: True when the baseline labeling (and compression, if revalidating)
+    #: came from a stored :class:`~repro.store.BaselineArtifact` instead
+    #: of being re-solved in this run.
+    baseline_from_store: bool = False
 
     def canonical(self) -> Tuple:
         return (
@@ -158,9 +163,12 @@ class ClassDeltaRecord:
         )
 
 
+@register_report
 @dataclass
-class DeltaReport:
+class DeltaReport(ReportEnvelope):
     """Run-level aggregation of a what-if change sweep."""
+
+    kind = "delta"
 
     network_name: str
     executor: str
@@ -176,6 +184,9 @@ class DeltaReport:
     total_seconds: float
     step_names: List[str] = field(default_factory=list)
     records: List[ClassDeltaRecord] = field(default_factory=list)
+    #: Content fingerprint of the stored baseline artifact this run
+    #: validated against, when one was supplied.
+    baseline_fingerprint: Optional[str] = None
     version: int = DELTA_REPORT_VERSION
 
     # ------------------------------------------------------------------
@@ -303,6 +314,7 @@ class DeltaReport:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         data = asdict(self)
+        data.update(self.envelope_dict())
         data["aggregate"] = {
             "incremental_seconds": self.incremental_seconds,
             "scratch_seconds": self.scratch_seconds,
@@ -320,7 +332,7 @@ class DeltaReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "DeltaReport":
-        payload = dict(data)
+        payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
         records = []
         for raw in payload.pop("records", []):
@@ -536,12 +548,35 @@ def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict)
     )
 
     # -- unchanged baseline ----------------------------------------------
+    # With a stored baseline the labeling comes from the artifact: a
+    # zero-dirty seeded solve validates it against the live SRP (the
+    # no-update round plus the O(E) stability scan) without a single
+    # fixed-point iteration, and the stored transfer memo makes the offer
+    # tables pure cache hits.  A bad seed (ConvergenceError) falls back to
+    # a scratch solve instead of failing the run.
+    stored = options.get("baseline") or {}
+    class_baseline = stored.get(str(prefix))
     baseline_start = time.perf_counter()
     compiled = bonsai.compile_for(prefix)
     baseline_srp = build_srp_from_network(
         network, prefix, origins, compiled=compiled, include_syntactic_keys=False
     )
-    baseline_solution = solve(baseline_srp)
+    baseline_solution = None
+    if class_baseline is not None:
+        try:
+            baseline_solution = solve_seeded(
+                baseline_srp,
+                class_baseline.labeling,
+                dirty=(),
+                transfer_cache=TransferCache().seeded_from(
+                    class_baseline.transfer_memo
+                ),
+                max_rounds=max_rounds,
+            )
+        except ConvergenceError:
+            class_baseline = None
+    if baseline_solution is None:
+        baseline_solution = solve(baseline_srp)
     baseline_table = forwarding_table_from_solution(
         network, baseline_solution, equivalence_class
     )
@@ -556,14 +591,22 @@ def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict)
     baseline_signature = None
     compression_seconds = 0.0
     if revalidate_on:
-        compression = bonsai.compress(equivalence_class, build_network=True)
-        compression_seconds = compression.compression_seconds
-        baseline_signature = class_signature(
-            network,
-            prefix,
-            equivalence_class.origins,
-            keys=state.policy_keys(_BASELINE_STEP, network, prefix),
-        )
+        if (
+            class_baseline is not None
+            and class_baseline.compression is not None
+            and class_baseline.compression.abstract_network is not None
+        ):
+            compression = class_baseline.compression
+            baseline_signature = class_baseline.signature
+        else:
+            compression = bonsai.compress(equivalence_class, build_network=True)
+            compression_seconds = compression.compression_seconds
+            baseline_signature = class_signature(
+                network,
+                prefix,
+                equivalence_class.origins,
+                keys=state.policy_keys(_BASELINE_STEP, network, prefix),
+            )
 
     record = ClassDeltaRecord(
         prefix=str(prefix),
@@ -574,6 +617,7 @@ def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict)
             prop: [n for n in node_names if not per_node[n]]
             for prop, per_node in baseline_verdicts.items()
         },
+        baseline_from_store=class_baseline is not None,
     )
 
     # The incremental chain: each step seeds from the previous step's
@@ -821,6 +865,7 @@ class DeltaSweep:
         network: Optional[Network] = None,
         *,
         artifact: Optional[EncodedNetwork] = None,
+        baseline=None,
         script: Sequence[ChangeSet] = (),
         suite: Optional[PropertySuite] = None,
         oracle: bool = True,
@@ -836,6 +881,21 @@ class DeltaSweep:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
             )
+        if baseline is not None:
+            # A stored BaselineArtifact supplies both the one-time encoding
+            # (skipping the re-encode) and the per-class labelings /
+            # compressions (skipping every baseline re-solve).  A network
+            # passed alongside must be the artifact's own network by
+            # content, or the stored labelings would be silently wrong.
+            if artifact is None:
+                artifact = baseline.encoded
+            if network is not None and network is not baseline.network:
+                if not baseline.matches(network):
+                    raise ValueError(
+                        "stored baseline artifact does not match the network "
+                        "(content fingerprints differ); rebuild the artifact"
+                    )
+        self.baseline = baseline
         if network is None and artifact is None:
             raise ValueError("either a network or an EncodedNetwork is required")
         self.network = artifact.network if artifact is not None else network
@@ -867,6 +927,8 @@ class DeltaSweep:
         options["oracle"] = self.oracle
         options["revalidate"] = self.revalidate
         options["rebuild_oracle"] = self.rebuild_oracle
+        if self.baseline is not None:
+            options["baseline"] = self.baseline.baselines
         fanout = ClassFanOut(
             self.network,
             task="delta",
@@ -890,6 +952,9 @@ class DeltaSweep:
             total_seconds=time.perf_counter() - start,
             step_names=[changeset.name for changeset in self.script],
             records=records,
+            baseline_fingerprint=(
+                self.baseline.fingerprint if self.baseline is not None else None
+            ),
         )
 
 

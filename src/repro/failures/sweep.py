@@ -61,6 +61,7 @@ from repro.failures.soundness import check_scenario_soundness
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
 from repro.srp.solver import TransferCache, solve
+from repro.reporting import ReportEnvelope, register_report
 
 #: Format version of the JSON failure reports.
 FAILURE_REPORT_VERSION = 1
@@ -144,9 +145,12 @@ class ClassFailureRecord:
         )
 
 
+@register_report
 @dataclass
-class FailureReport:
+class FailureReport(ReportEnvelope):
     """Run-level aggregation of a failure sweep."""
+
+    kind = "failures"
 
     network_name: str
     executor: str
@@ -339,6 +343,7 @@ class FailureReport:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         data = asdict(self)
+        data.update(self.envelope_dict())
         data["aggregate"] = {
             "incremental_seconds": self.incremental_seconds,
             "scratch_seconds": self.scratch_seconds,
@@ -357,7 +362,7 @@ class FailureReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FailureReport":
-        payload = dict(data)
+        payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
         records = []
         for raw in payload.pop("records", []):

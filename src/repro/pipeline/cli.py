@@ -1,52 +1,54 @@
 """Command-line front end: ``python -m repro.pipeline``.
 
+The CLI is organised as subcommands, one per pillar::
+
+    python -m repro.pipeline compress --topo fattree --size 4 --workers 2
+    python -m repro.pipeline verify   --family fattree
+    python -m repro.pipeline failures --family wan --k 2 --sample 50
+    python -m repro.pipeline delta    --family fattree --changes changes.json
+    python -m repro.pipeline store    save --topo ring --size 5 --store ./artifacts
+    python -m repro.pipeline serve    --topo fattree --store ./artifacts --port 8642
+
+``store`` persists warm baseline artifacts (encoded network, per-class
+labelings, transfer memos, signatures, partitions, compressions) keyed by
+the network's content fingerprint; ``delta --baseline PATH`` then
+validates a change script against a stored baseline with **zero**
+baseline re-solves, and ``serve`` answers verify / delta / failure /
+k-resilience queries over HTTP off the same warm artifact.
+
 Examples
 --------
 Compress a k=4 fat-tree over two worker processes and print the summary::
 
-    python -m repro.pipeline --topo fattree --size 4 --workers 2
-
-Write the full JSON report (the format CI uploads as an artifact)::
-
-    python -m repro.pipeline --topo mesh --size 12 --executor serial \
-        --output report.json
-
-Differentially verify the whole property catalogue on a fat-tree at its
-default size -- every verdict on the compressed network must match the
-concrete network::
-
-    python -m repro.pipeline --verify --family fattree
+    python -m repro.pipeline compress --topo fattree --size 4 --workers 2
 
 Verify selected properties on every generated family and save the
 combined JSON report (exit status 1 if any verdict diverges)::
 
-    python -m repro.pipeline --verify --family all \
+    python -m repro.pipeline verify --family all \
         --properties reachability,routing-loop-freedom --output verify.json
 
 Sweep every single-link failure of a fat-tree, re-solving incrementally
 (scratch-oracle cross-checked) and flagging per-scenario abstraction
-soundness; exit status 1 on any incremental divergence or abstract
-verdict disagreement::
+soundness::
 
-    python -m repro.pipeline --failures --family fattree --k 1 \
+    python -m repro.pipeline failures --family fattree --k 1 \
         --output failure_report.json
 
-Sample 50 double-failure scenarios of a WAN deterministically::
+Validate a what-if change script against a *stored* baseline -- no
+baseline re-solve, stored compressions reused for revalidation::
 
-    python -m repro.pipeline --failures --family wan --k 2 --sample 50
+    python -m repro.pipeline store save --topo fattree --store ./artifacts
+    python -m repro.pipeline delta --family fattree \
+        --changes changes.json --baseline ./artifacts
 
-Validate a what-if change script against a fat-tree: per-change verdict
-diffs vs the unchanged baseline, which change first breaks which
-property, and which classes were re-verified *without* re-compressing
-(abstraction reuse); exit status 1 on any incremental divergence or
-abstract verdict disagreement::
+Legacy spellings
+----------------
+The original flat-flag spellings (``--verify``, ``--failures``,
+``--delta``, ``--report-out``) still work and behave identically, but
+emit a :class:`DeprecationWarning` pointing at the subcommand::
 
-    python -m repro.pipeline --delta --family fattree \
-        --changes changes.json --report-out delta_report.json
-
-Run the generated per-family change scenarios instead of a script file::
-
-    python -m repro.pipeline --delta --family ring --changes generated
+    python -m repro.pipeline --verify --family fattree   # use: verify
 """
 
 from __future__ import annotations
@@ -55,6 +57,8 @@ import argparse
 import json
 import sys
 import time
+import warnings
+from pathlib import Path
 from typing import List, Optional
 
 from repro.analysis.batch import BatchVerifier, PropertySuite, VerificationReport
@@ -68,8 +72,30 @@ from repro.netgen.families import (
 )
 from repro.pipeline.core import EXECUTORS, CompressionPipeline, PipelineError
 
+#: The subcommand names; an argv starting with one routes to the
+#: subcommand parser, anything else through the legacy flat-flag shim.
+SUBCOMMANDS = ("compress", "verify", "failures", "delta", "store", "serve")
 
+#: Legacy spelling -> replacement hint, for the one-per-invocation
+#: deprecation warnings the shim emits.
+_LEGACY_SPELLINGS = {
+    "--verify": "the 'verify' subcommand",
+    "--failures": "the 'failures' subcommand",
+    "--delta": "the 'delta' subcommand",
+    "--report-out": "--output",
+}
+
+
+# ----------------------------------------------------------------------
+# Legacy flat-flag parser (the shim target; exact messages are pinned)
+# ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """The legacy flat-flag parser (``--verify`` / ``--failures`` / ...).
+
+    Kept verbatim so existing scripts and CI invocations keep their exact
+    error messages and exit codes; new invocations should prefer the
+    subcommands from :func:`build_subcommand_parser`.
+    """
     families = ", ".join(
         f"{name} ({hint})" for name, (_, hint) in sorted(TOPOLOGY_FAMILIES.items())
     )
@@ -78,7 +104,9 @@ def build_parser() -> argparse.ArgumentParser:
         description="Compress every destination equivalence class of a "
         "generated network in parallel and report aggregate statistics; "
         "with --verify, differentially check the property catalogue on the "
-        "concrete and compressed networks instead.",
+        "concrete and compressed networks instead.  (Legacy spelling: "
+        "prefer the subcommands compress, verify, failures, delta, store "
+        "and serve.)",
     )
     parser.add_argument(
         "--topo",
@@ -235,6 +263,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: per-family)",
     )
     delta.add_argument(
+        "--baseline",
+        default=None,
+        metavar="STORE|ENTRY",
+        help="validate against a stored baseline artifact (an artifact "
+        "store root, or one entry directory): zero baseline re-solves, "
+        "stored compressions reused for revalidation",
+    )
+    delta.add_argument(
         "--no-revalidate",
         action="store_true",
         help="skip the per-step abstraction revalidator",
@@ -245,6 +281,271 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip timing the full-rebuild arm when the abstraction is "
         "reused (faster; the reported speedup loses its denominator)",
     )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Subcommand parser
+# ----------------------------------------------------------------------
+def _topology_arguments(parser: argparse.ArgumentParser) -> None:
+    families = ", ".join(
+        f"{name} ({hint})" for name, (_, hint) in sorted(TOPOLOGY_FAMILIES.items())
+    )
+    parser.add_argument(
+        "--topo",
+        choices=sorted(TOPOLOGY_FAMILIES),
+        help=f"topology family; size parameter per family: {families}",
+    )
+    parser.add_argument(
+        "--family",
+        choices=sorted(TOPOLOGY_FAMILIES) + ["all"],
+        help="alias for --topo; 'all' runs every family at its default size",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="family size parameter (defaults to a small per-family size)",
+    )
+
+
+def _execution_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker count for parallel executors"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default="process",
+        help="how to run the per-class work (default: process)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="classes per work unit"
+    )
+    parser.add_argument(
+        "--limit", type=int, default=None, help="process only the first N classes"
+    )
+    parser.add_argument(
+        "--syntactic",
+        action="store_true",
+        help="use syntactic policy keys instead of BDDs (ablation mode)",
+    )
+
+
+def _output_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON report to this file (a single report object; "
+        "with --family all, a {family: report} map)",
+    )
+    parser.add_argument(
+        "--per-class", action="store_true", help="also print one line per class"
+    )
+
+
+def _suite_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--properties",
+        default=None,
+        help="comma-separated registered property names "
+        f"(default: all of {', '.join(registered_properties())})",
+    )
+    parser.add_argument(
+        "--path-bound",
+        type=int,
+        default=None,
+        help="hop bound for bounded-path-length (default: concrete node count)",
+    )
+    parser.add_argument(
+        "--waypoints",
+        default=None,
+        help="comma-separated device names for waypointing "
+        "(default: each class's originating devices)",
+    )
+
+
+def build_subcommand_parser() -> argparse.ArgumentParser:
+    """The subcommand CLI: compress / verify / failures / delta / store / serve."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.pipeline",
+        description="Bonsai control-plane compression toolkit: compress, "
+        "differentially verify, sweep failures, validate change scripts, "
+        "persist warm baseline artifacts and serve them over HTTP.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compress = commands.add_parser(
+        "compress",
+        help="compress every destination class and report aggregate statistics",
+    )
+    _topology_arguments(compress)
+    _execution_arguments(compress)
+    _output_arguments(compress)
+    compress.add_argument(
+        "--build-networks",
+        action="store_true",
+        help="also emit the abstract configured network for every class",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="differentially verify the property catalogue on the concrete "
+        "and compressed networks",
+    )
+    _topology_arguments(verify)
+    _execution_arguments(verify)
+    _output_arguments(verify)
+    _suite_arguments(verify)
+    verify.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="total wall-clock budget in seconds, shared across families",
+    )
+
+    failures = commands.add_parser(
+        "failures",
+        help="sweep k-failure scenarios with incremental re-solve and "
+        "abstraction-soundness checks",
+    )
+    _topology_arguments(failures)
+    _execution_arguments(failures)
+    _output_arguments(failures)
+    _suite_arguments(failures)
+    failures.add_argument(
+        "--k", type=int, default=None,
+        help="enumerate all scenarios of at most k simultaneous failures",
+    )
+    failures.add_argument(
+        "--sample", type=int, default=None,
+        help="deterministically sample this many scenarios",
+    )
+    failures.add_argument(
+        "--seed", type=int, default=None, help="seed for --sample (default 0)"
+    )
+    failures.add_argument(
+        "--fail-nodes", action="store_true",
+        help="also enumerate node failures (default: links only)",
+    )
+    failures.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the scratch-solve oracle cross-check",
+    )
+    failures.add_argument(
+        "--no-soundness", action="store_true",
+        help="skip the per-scenario abstraction-soundness checker",
+    )
+
+    delta = commands.add_parser(
+        "delta",
+        help="validate a configuration change script (optionally against a "
+        "stored baseline artifact: zero baseline re-solves)",
+    )
+    _topology_arguments(delta)
+    _execution_arguments(delta)
+    _output_arguments(delta)
+    _suite_arguments(delta)
+    delta.add_argument(
+        "--changes", default=None, metavar="FILE|generated",
+        help="JSON change script, or 'generated' (the default)",
+    )
+    delta.add_argument(
+        "--steps", type=int, default=None,
+        help="cap the generated change script at this many steps",
+    )
+    delta.add_argument(
+        "--seed", type=int, default=None,
+        help="seed for the generated change script (default 0)",
+    )
+    delta.add_argument(
+        "--baseline", default=None, metavar="STORE|ENTRY",
+        help="validate against a stored baseline artifact (an artifact "
+        "store root, or one entry directory): zero baseline re-solves, "
+        "stored compressions reused for revalidation",
+    )
+    delta.add_argument(
+        "--no-oracle", action="store_true",
+        help="skip the scratch-solve oracle cross-check",
+    )
+    delta.add_argument(
+        "--no-revalidate", action="store_true",
+        help="skip the per-step abstraction revalidator",
+    )
+    delta.add_argument(
+        "--no-rebuild-oracle", action="store_true",
+        help="skip timing the full-rebuild arm on abstraction reuse",
+    )
+
+    store = commands.add_parser(
+        "store",
+        help="manage the on-disk warm-baseline artifact store",
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+
+    store_save = store_commands.add_parser(
+        "save",
+        help="build the full warm baseline (encode + solve + compress every "
+        "class) and persist it keyed by the network's content fingerprint",
+    )
+    _topology_arguments(store_save)
+    store_save.add_argument(
+        "--store", required=True, help="artifact store root directory"
+    )
+    store_save.add_argument(
+        "--limit", type=int, default=None,
+        help="only bake the first N classes (smoke runs)",
+    )
+    store_save.add_argument(
+        "--no-compress", action="store_true",
+        help="skip per-class compressions (delta then recompresses lazily)",
+    )
+    store_save.add_argument(
+        "--syntactic", action="store_true",
+        help="use syntactic policy keys instead of BDDs",
+    )
+
+    store_list = store_commands.add_parser(
+        "list", help="list every entry's provenance metadata"
+    )
+    store_list.add_argument(
+        "--store", required=True, help="artifact store root directory"
+    )
+
+    store_info = store_commands.add_parser(
+        "info",
+        help="show one entry's metadata and verify it loads (checksum, "
+        "schema and fingerprint checks)",
+    )
+    _topology_arguments(store_info)
+    store_info.add_argument(
+        "--store", required=True, help="artifact store root directory"
+    )
+    store_info.add_argument(
+        "--fingerprint", default=None,
+        help="entry fingerprint (default: computed from --topo/--family)",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="answer verify / delta / failure / k-resilience queries over "
+        "HTTP off a warm baseline artifact",
+    )
+    _topology_arguments(serve)
+    serve.add_argument(
+        "--store", default=None,
+        help="artifact store root: load a matching warm baseline when one "
+        "verifies, save fresh builds back",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8642, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--syntactic", action="store_true",
+        help="use syntactic policy keys instead of BDDs",
+    )
+
     return parser
 
 
@@ -291,7 +592,7 @@ def _write_output(path: str, text: str) -> bool:
 
 
 def _emit_reports(args, reports) -> bool:
-    """The one ``--report-out`` convention shared by every mode.
+    """The one ``--output`` convention shared by every mode.
 
     A single report is written as itself, several as a ``{family:
     report}`` map; any report object with ``to_json``/``to_dict`` fits.
@@ -446,9 +747,26 @@ def _run_failures(args, families: List[str]) -> int:
     return _report_status(failed, _emit_reports(args, reports))
 
 
+def _load_baseline_artifact(path: str, network):
+    """Resolve ``--baseline`` to a verified :class:`BaselineArtifact`.
+
+    ``path`` may be one store entry directory (it contains ``meta.json``)
+    or a store root (the entry is found by the network's fingerprint).
+    Raises :class:`~repro.store.StoreError` on any verification failure:
+    the CLI refuses rather than silently re-solving.
+    """
+    from repro.store import ArtifactStore
+
+    candidate = Path(path)
+    if (candidate / "meta.json").is_file():
+        return ArtifactStore(candidate.parent).load(candidate.name)
+    return ArtifactStore(candidate).load_for(network)
+
+
 def _run_delta(args, families: List[str]) -> int:
     from repro.delta import ChangeError, DeltaSweep, load_change_script
     from repro.netgen.changes import default_change_steps, generated_change_script
+    from repro.store import StoreError
 
     try:
         suite = _build_suite(args)
@@ -477,11 +795,22 @@ def _run_delta(args, families: List[str]) -> int:
             print(f"error: cannot load change script {args.changes}: {exc}", file=sys.stderr)
             return 2
 
+    baseline_path = getattr(args, "baseline", None)
     reports = {}
     failed = False
     for family in families:
         size = args.size if args.size is not None else default_size(family)
         network = build_topology(family, size)
+        baseline = None
+        if baseline_path:
+            try:
+                baseline = _load_baseline_artifact(baseline_path, network)
+            except StoreError as exc:
+                print(
+                    f"error: cannot use baseline artifact at {baseline_path}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
         if file_script is not None:
             script = file_script
         else:
@@ -496,6 +825,7 @@ def _run_delta(args, families: List[str]) -> int:
                 network,
                 script=script,
                 suite=suite,
+                baseline=baseline,
                 oracle=not args.no_oracle,
                 revalidate=not args.no_revalidate,
                 rebuild_oracle=not args.no_rebuild_oracle,
@@ -515,6 +845,12 @@ def _run_delta(args, families: List[str]) -> int:
         reports[family] = report
         failed = failed or not report.ok()
         print(f"== change-impact sweep: {family}({size}) ==")
+        if baseline is not None:
+            warm = sum(1 for record in report.records if record.baseline_from_store)
+            print(
+                f"  warm baseline {baseline.fingerprint[:12]}...: "
+                f"{warm}/{len(report.records)} classes seeded from the store"
+            )
         for line in report.summary_lines():
             print(f"  {line}")
         if args.per_class:
@@ -567,7 +903,149 @@ def _run_compress(args, family: str) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _run_store(args) -> int:
+    from repro.store import ArtifactStore, BaselineArtifact, StoreError
+    from repro.store.fingerprint import network_fingerprint
+
+    store = ArtifactStore(args.store)
+
+    if args.store_command == "list":
+        entries = store.list()
+        if not entries:
+            print(f"(no artifacts under {store.root})")
+            return 0
+        for meta in entries:
+            fingerprint = str(meta.get("fingerprint", "?"))
+            if meta.get("unreadable"):
+                print(f"  {fingerprint[:12]}...  (unreadable meta)")
+                continue
+            print(
+                f"  {fingerprint[:12]}...  {meta.get('network_name', '?')}  "
+                f"classes={meta.get('num_classes', '?')}  "
+                f"{meta.get('payload_bytes', '?')} bytes  "
+                f"saved {meta.get('saved_at', '?')}"
+            )
+        return 0
+
+    if args.store_command == "save":
+        families = _selected_families(args)
+        if families is None:
+            return 2
+        for family in families:
+            size = args.size if args.size is not None else default_size(family)
+            network = build_topology(family, size)
+            artifact = BaselineArtifact.build(
+                network,
+                use_bdds=not args.syntactic,
+                compress=not args.no_compress,
+                limit=args.limit,
+            )
+            entry = store.save(artifact)
+            print(
+                f"saved {family}({size}): fingerprint "
+                f"{artifact.fingerprint[:12]}... "
+                f"({len(artifact.baselines)} classes, "
+                f"{artifact.build_seconds:.2f}s build) -> {entry}"
+            )
+        return 0
+
+    # store info
+    fingerprint = args.fingerprint
+    if fingerprint is None:
+        families = _selected_families(args)
+        if families is None:
+            return 2
+        if len(families) != 1:
+            print(
+                "error: store info needs one family (or --fingerprint)",
+                file=sys.stderr,
+            )
+            return 2
+        size = args.size if args.size is not None else default_size(families[0])
+        fingerprint = network_fingerprint(build_topology(families[0], size))
+    meta = store.meta(fingerprint)
+    if meta is None:
+        print(
+            f"error: no readable entry for {fingerprint[:12]}... under {store.root}",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(meta, indent=2, sort_keys=True))
+    try:
+        artifact = store.load(fingerprint)
+    except StoreError as exc:
+        print(f"entry REFUSED: {exc}", file=sys.stderr)
+        return 1
+    stats = artifact.stats()
+    print(
+        f"entry verifies: {stats['num_classes']} classes, "
+        f"{stats['compressed_classes']} compressed"
+    )
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.serve import serve as serve_forever, warm_service
+
+    families = _selected_families(args)
+    if families is None:
+        return 2
+    if len(families) != 1:
+        print("error: serve needs exactly one topology family", file=sys.stderr)
+        return 2
+    family = families[0]
+    size = args.size if args.size is not None else default_size(family)
+    network = build_topology(family, size)
+    service = warm_service(network, store=args.store, use_bdds=not args.syntactic)
+    if args.store and service.session.rebuilt:
+        reason = service.session.rebuild_reason or "no stored entry"
+        print(f"rebuilt baseline into {args.store}: {reason}")
+    serve_forever(service, host=args.host, port=args.port)
+    return 0
+
+
+def _dispatch_subcommand(args) -> int:
+    if args.command == "store":
+        return _run_store(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    families = _selected_families(args)
+    if families is None:
+        return 2
+    if args.command == "verify":
+        return _run_verify(args, families)
+    if args.command == "failures":
+        return _run_failures(args, families)
+    if args.command == "delta":
+        return _run_delta(args, families)
+    # compress: run each selected family in turn (legacy restricted this
+    # to a single family; the subcommand just loops).
+    status = 0
+    for family in families:
+        status = max(status, _run_compress(args, family))
+    return status
+
+
+# ----------------------------------------------------------------------
+# Legacy shim
+# ----------------------------------------------------------------------
+def _warn_legacy_spellings(argv: List[str]) -> None:
+    """One :class:`DeprecationWarning` per legacy spelling per invocation."""
+    seen = set()
+    for token in argv:
+        flag = token.split("=", 1)[0]
+        if flag in _LEGACY_SPELLINGS and flag not in seen:
+            seen.add(flag)
+            warnings.warn(
+                f"{flag} is deprecated; use {_LEGACY_SPELLINGS[flag]} "
+                "(python -m repro.pipeline <subcommand> ...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+
+def _legacy_main(argv: List[str]) -> int:
+    _warn_legacy_spellings(argv)
     args = build_parser().parse_args(argv)
     families = _selected_families(args)
     if families is None:
@@ -605,6 +1083,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("--no-oracle", args.no_oracle or None, ("--failures", "--delta")),
             ("--changes", args.changes, ("--delta",)),
             ("--steps", args.steps, ("--delta",)),
+            ("--baseline", args.baseline, ("--delta",)),
             ("--no-revalidate", args.no_revalidate or None, ("--delta",)),
             ("--no-rebuild-oracle", args.no_rebuild_oracle or None, ("--delta",)),
         )
@@ -636,3 +1115,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except VerificationTimeout as exc:  # pragma: no cover - defensive
         print(f"verification timed out: {exc}", file=sys.stderr)
         return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] in SUBCOMMANDS:
+            args = build_subcommand_parser().parse_args(argv)
+            try:
+                return _dispatch_subcommand(args)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            except VerificationTimeout as exc:  # pragma: no cover - defensive
+                print(f"verification timed out: {exc}", file=sys.stderr)
+                return 1
+        return _legacy_main(argv)
+    except SystemExit as exc:  # argparse --help / usage errors
+        code = exc.code
+        return code if isinstance(code, int) else 2

@@ -16,6 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.config.transfer import VIRTUAL_DESTINATION
+from repro.reporting import ReportEnvelope, register_report
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.abstraction.bonsai import CompressionResult
@@ -94,9 +95,12 @@ class EcRecord:
         return self.concrete_edges / max(1, self.abstract_edges)
 
 
+@register_report
 @dataclass
-class PipelineReport:
+class PipelineReport(ReportEnvelope):
     """Run-level aggregation of every per-class record."""
+
+    kind = "compression"
 
     network_name: str
     executor: str
@@ -152,11 +156,16 @@ class PipelineReport:
             for record in sorted(self.records, key=lambda r: r.prefix)
         )
 
+    def ok(self) -> bool:
+        """The report-level gate: every enumerated class was compressed."""
+        return len(self.records) == self.num_classes
+
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict:
         data = asdict(self)
+        data.update(self.envelope_dict())
         data["aggregate"] = {
             "mean_abstract_nodes": self.mean_abstract_nodes,
             "mean_abstract_edges": self.mean_abstract_edges,
@@ -171,7 +180,7 @@ class PipelineReport:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "PipelineReport":
-        payload = dict(data)
+        payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
         records = [EcRecord(**record) for record in payload.pop("records", [])]
         return cls(records=records, **payload)

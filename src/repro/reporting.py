@@ -1,0 +1,142 @@
+"""The common report envelope shared by every JSON report kind.
+
+Four subsystems emit run-level JSON reports -- compression
+(:class:`~repro.pipeline.report.PipelineReport`), batch verification
+(:class:`~repro.analysis.batch.VerificationReport`), failure sweeps
+(:class:`~repro.failures.sweep.FailureReport`) and change-impact sweeps
+(:class:`~repro.delta.sweep.DeltaReport`).  Each grew its own wire format
+PR by PR; consumers (CI gates, benchmarks, the artifact store, the serve
+API) had to know which class wrote a given file before they could read
+it.
+
+:class:`ReportEnvelope` is the shared base: every report now serialises
+a common envelope --
+
+* ``schema_version`` -- the cross-report schema revision (bumped when
+  the *envelope* changes; each report keeps its own per-kind ``version``
+  field for payload evolution);
+* ``kind`` -- the registry key naming the report class;
+* ``ok`` -- the report's own gate (:meth:`ReportEnvelope.ok`), so a
+  consumer can pass/fail on any report without knowing its kind;
+* ``generated_by`` -- the producing package and version.
+
+and :func:`load_report` reads *any* report back by dispatching on
+``kind``.  Pre-envelope reports (no ``kind`` key) still load through the
+per-class ``from_json`` constructors, which tolerate the envelope keys'
+absence -- the backward-compatible-upgrade discipline: new readers accept
+old files, old readers ignore the new keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Type
+
+#: Cross-report envelope schema revision.
+REPORT_SCHEMA_VERSION = 2
+
+#: Stamped into every report so a file names its producer.
+GENERATED_BY = "repro-bonsai 1.0.0"
+
+#: ``kind`` -> report class, filled in by :func:`register_report` as the
+#: report modules import.
+_REPORT_KINDS: Dict[str, type] = {}
+
+#: Modules whose import registers the built-in report kinds; imported
+#: lazily by :func:`load_report` so this module stays dependency-free.
+_BUILTIN_REPORT_MODULES = (
+    "repro.pipeline.report",
+    "repro.analysis.batch",
+    "repro.failures.sweep",
+    "repro.delta.sweep",
+)
+
+
+class ReportEnvelope:
+    """Mixin giving a report class the shared envelope.
+
+    Subclasses set the class attribute ``kind`` (the registry key) and
+    implement :meth:`ok`; :meth:`envelope_dict` is what their
+    ``to_dict`` merges in, and :meth:`strip_envelope` is what their
+    ``from_dict`` uses to drop the envelope keys before rebuilding the
+    dataclass.
+    """
+
+    #: Registry key; subclasses must override.
+    kind: str = ""
+
+    #: The keys the envelope contributes to ``to_dict`` output.
+    ENVELOPE_KEYS = ("schema_version", "kind", "ok", "generated_by")
+
+    def ok(self) -> bool:
+        """The report-level gate: True when the run passed its checks."""
+        raise NotImplementedError
+
+    def envelope_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "kind": self.kind,
+            "ok": bool(self.ok()),
+            "generated_by": GENERATED_BY,
+        }
+
+    @classmethod
+    def strip_envelope(cls, data: Dict) -> Dict:
+        """A copy of ``data`` without the envelope keys (tolerates their
+        absence, so pre-envelope report files keep loading)."""
+        payload = dict(data)
+        for key in cls.ENVELOPE_KEYS:
+            payload.pop(key, None)
+        return payload
+
+
+def register_report(cls: type) -> type:
+    """Class decorator: register a :class:`ReportEnvelope` subclass by its
+    ``kind`` for :func:`load_report` dispatch."""
+    if not getattr(cls, "kind", ""):
+        raise ValueError(f"{cls.__name__} must set a non-empty 'kind'")
+    _REPORT_KINDS[cls.kind] = cls
+    return cls
+
+
+def registered_report_kinds() -> List[str]:
+    """The registered kinds (built-ins registered on first use)."""
+    _import_builtins()
+    return sorted(_REPORT_KINDS)
+
+
+def report_class_for(kind: str) -> Type:
+    """The report class registered for ``kind``."""
+    _import_builtins()
+    try:
+        return _REPORT_KINDS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_REPORT_KINDS))
+        raise ValueError(f"unknown report kind {kind!r}; registered: {known}") from None
+
+
+def _import_builtins() -> None:
+    import importlib
+
+    for module in _BUILTIN_REPORT_MODULES:
+        importlib.import_module(module)
+
+
+def load_report(source):
+    """Load any enveloped report, dispatching on its ``kind`` key.
+
+    ``source`` is a JSON string or an already-parsed dict.  Raises
+    :class:`ValueError` on missing/unknown ``kind`` -- pre-envelope files
+    must be loaded through the specific class's ``from_json``, which is
+    exactly the information their missing ``kind`` key cannot supply.
+    """
+    data = json.loads(source) if isinstance(source, str) else source
+    if not isinstance(data, dict):
+        raise ValueError(f"a report must be a JSON object, got {type(data).__name__}")
+    kind = data.get("kind")
+    if not kind:
+        raise ValueError(
+            "report has no 'kind' envelope key (pre-envelope file? "
+            "load it with the specific report class's from_json)"
+        )
+    return report_class_for(kind).from_dict(data)

@@ -1,0 +1,22 @@
+"""The long-running warm-baseline verification service.
+
+Loads (or builds) a :class:`~repro.store.BaselineArtifact`, keeps it warm
+in a :class:`~repro.api.Session`, and answers verify / delta / failure /
+k-resilience queries concurrently over stdlib HTTP -- coalescing
+concurrent identical queries per destination class, sharing the stored
+bounded memos across requests and reporting per-query latency
+percentiles.  Start it with ``python -m repro.pipeline serve``.
+"""
+
+from repro.serve.http import ServeHandler, create_server, serve, warm_service
+from repro.serve.service import QueryStats, VerificationService, parse_script
+
+__all__ = [
+    "QueryStats",
+    "ServeHandler",
+    "VerificationService",
+    "create_server",
+    "parse_script",
+    "serve",
+    "warm_service",
+]

@@ -1,0 +1,199 @@
+"""The stdlib HTTP front-end of the warm-baseline service.
+
+A :class:`ThreadingHTTPServer` (one thread per connection -- which is
+what makes the service's per-class query coalescing matter) exposing:
+
+====================  ======  ==============================================
+endpoint              method  body / answer
+====================  ======  ==============================================
+``/health``           GET     service identity and warm-baseline stats
+``/stats``            GET     per-kind query latency percentiles
+``/verify``           POST    ``{"prefix"?, "properties"?}`` -> report dict
+``/delta``            POST    ``{"script": [...], "revalidate"?}`` -> report
+``/failures``         POST    ``{"k"?, "sample"?, "properties"?}`` -> report
+``/k-resilience``     POST    ``{"max_k"?, "property"?, "sample"?}`` -> dict
+====================  ======  ==============================================
+
+Every report answer carries the shared envelope (``schema_version`` /
+``kind`` / ``ok`` / ``generated_by``), so clients gate on ``ok`` without
+knowing the report kind.  Malformed requests get 400 with a diagnostic;
+unexpected errors get 500; both as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.delta.changeset import ChangeError
+from repro.serve.service import VerificationService
+
+#: Request bodies above this size are rejected (a change script of
+#: thousands of steps is a client bug, not a workload).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Dispatches HTTP requests to the owning server's service."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Silence the default stderr access log; the service keeps stats.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    @property
+    def service(self) -> VerificationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        data = json.loads(raw.decode("utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _dispatch(self, handler) -> None:
+        try:
+            self._send_json(200, handler())
+        except (ValueError, KeyError, TypeError, ChangeError) as exc:
+            self._send_json(400, {"ok": False, "error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_json(500, {"ok": False, "error": f"internal error: {exc}"})
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/health":
+            self._dispatch(self.service.health)
+        elif self.path == "/stats":
+            self._dispatch(self.service.stats_summary)
+        else:
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        if self.path == "/verify":
+            self._dispatch(
+                lambda: self.service.verify(
+                    prefix=self._body.get("prefix"),
+                    properties=self._body.get("properties"),
+                )
+            )
+        elif self.path == "/delta":
+            self._dispatch(
+                lambda: self.service.delta(
+                    script=self._require(self._body, "script"),
+                    revalidate=bool(self._body.get("revalidate", True)),
+                )
+            )
+        elif self.path == "/failures":
+            self._dispatch(
+                lambda: self.service.failures(
+                    k=int(self._body.get("k", 1)),
+                    sample=self._body.get("sample"),
+                    properties=self._body.get("properties"),
+                )
+            )
+        elif self.path == "/k-resilience":
+            self._dispatch(
+                lambda: self.service.k_resilience(
+                    max_k=int(self._body.get("max_k", 2)),
+                    prop=str(self._body.get("property", "reachability")),
+                    sample=self._body.get("sample"),
+                )
+            )
+        else:
+            self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
+            return
+
+    def parse_request(self) -> bool:  # read the body once per request
+        ok = super().parse_request()
+        self._body = {}
+        if ok and self.command == "POST":
+            try:
+                self._body = self._read_body()
+            except (ValueError, json.JSONDecodeError) as exc:
+                self._send_json(400, {"ok": False, "error": f"bad request body: {exc}"})
+                return False
+        return ok
+
+    @staticmethod
+    def _require(body: dict, key: str):
+        if key not in body:
+            raise ValueError(f"missing required field {key!r}")
+        return body[key]
+
+
+def create_server(
+    service: VerificationService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threaded server bound to ``host:port`` (0 = ephemeral)."""
+    server = ThreadingHTTPServer((host, port), ServeHandler)
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def _announce(message: str) -> None:
+    # Flushed so wrappers (tests, process supervisors) reading the pipe
+    # see the bound address before the first request.
+    print(message, flush=True)
+
+
+def serve(
+    service: VerificationService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    announce=_announce,
+) -> None:
+    """Run the service until interrupted (the CLI ``serve`` entry point)."""
+    server = create_server(service, host=host, port=port)
+    bound: Tuple[str, int] = server.server_address[:2]
+    announce(f"repro-serve listening on http://{bound[0]}:{bound[1]}")
+    announce(
+        f"warm baseline: {service.session.network.name} "
+        f"({len(service.session.classes)} classes, "
+        f"fingerprint {service.session.fingerprint[:12]}...)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+
+
+def warm_service(
+    network=None,
+    *,
+    store=None,
+    baseline=None,
+    use_bdds: bool = True,
+    answer_cache_limit: Optional[int] = None,
+) -> VerificationService:
+    """Build (or load) a warm session and wrap it in a service."""
+    from repro.api import Session
+
+    session = Session(network, baseline=baseline, store=store, use_bdds=use_bdds)
+    kwargs = {} if answer_cache_limit is None else {"answer_cache_limit": answer_cache_limit}
+    return VerificationService(session, **kwargs)

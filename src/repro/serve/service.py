@@ -1,0 +1,256 @@
+"""The warm-baseline verification service core (transport-agnostic).
+
+:class:`VerificationService` wraps a :class:`repro.api.Session` and
+answers verify / delta / failure / k-resilience queries concurrently:
+
+* **Per-class batching**: concurrent queries that resolve to the same
+  work unit (the same destination class and parameters) are *coalesced*
+  -- one thread computes, the rest wait on the same in-flight result --
+  so a thundering herd of identical verify calls costs one evaluation.
+* **Shared warm state**: every query runs off the session's stored
+  baseline (tables, labelings, transfer memos, compressions), and
+  verify answers are additionally memoised in a bounded cache (the
+  network inside a session is immutable, so they never go stale).
+* **Latency accounting**: :class:`QueryStats` records per-query wall
+  clock and reports count / mean / p50 / p95 per query kind.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.api import Session
+from repro.delta.changeset import ChangeSet, change_from_dict
+
+#: Bound on the memoised verify answers (distinct (prefix, properties)
+#: keys); overflow evicts wholesale, like the solver's TransferCache.
+DEFAULT_ANSWER_CACHE_LIMIT = 256
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+class QueryStats:
+    """Thread-safe per-kind latency samples with percentile summaries."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._samples: Dict[str, List[float]] = {}
+        self._coalesced: Dict[str, int] = {}
+
+    def record(self, kind: str, seconds: float, coalesced: bool = False) -> None:
+        with self._lock:
+            self._samples.setdefault(kind, []).append(seconds)
+            if coalesced:
+                self._coalesced[kind] = self._coalesced.get(kind, 0) + 1
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            out: Dict[str, Dict[str, float]] = {}
+            for kind, samples in self._samples.items():
+                ordered = sorted(samples)
+                out[kind] = {
+                    "count": len(ordered),
+                    "coalesced": self._coalesced.get(kind, 0),
+                    "mean_ms": 1e3 * sum(ordered) / len(ordered),
+                    "p50_ms": 1e3 * _percentile(ordered, 0.50),
+                    "p95_ms": 1e3 * _percentile(ordered, 0.95),
+                    "max_ms": 1e3 * ordered[-1],
+                }
+            return out
+
+
+class _Coalescer:
+    """Deduplicate concurrent identical computations by key.
+
+    The first caller of a key becomes the owner and computes; callers
+    arriving while it is in flight block on the same event and share the
+    owner's result (or exception).  Results are *not* retained after the
+    flight completes -- caching is the caller's concern.
+    """
+
+    class _Flight:
+        __slots__ = ("event", "result", "error")
+
+        def __init__(self) -> None:
+            self.event = threading.Event()
+            self.result = None
+            self.error: Optional[BaseException] = None
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: Dict[object, "_Coalescer._Flight"] = {}
+
+    def run(self, key, compute: Callable[[], object]):
+        """``(result, coalesced)``: coalesced is True for non-owners."""
+        with self._lock:
+            flight = self._inflight.get(key)
+            owner = flight is None
+            if owner:
+                flight = self._inflight[key] = self._Flight()
+        if not owner:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, True
+        try:
+            flight.result = compute()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+        return flight.result, False
+
+
+class VerificationService:
+    """Concurrent query front-end over one warm :class:`Session`."""
+
+    def __init__(
+        self,
+        session: Session,
+        answer_cache_limit: int = DEFAULT_ANSWER_CACHE_LIMIT,
+    ) -> None:
+        self.session = session
+        self.stats = QueryStats()
+        self._coalescer = _Coalescer()
+        self._cache_lock = threading.Lock()
+        self._cache_limit = answer_cache_limit
+        self._answers: Dict[object, Dict] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "network": self.session.network.name,
+            "fingerprint": self.session.fingerprint,
+            "classes": len(self.session.classes),
+            "warm": True,
+        }
+
+    def stats_summary(self) -> Dict[str, object]:
+        return {"ok": True, "queries": self.stats.summary()}
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _cached(self, key, compute: Callable[[], Dict]) -> Dict:
+        with self._cache_lock:
+            answer = self._answers.get(key)
+        if answer is not None:
+            return answer
+        answer = compute()
+        with self._cache_lock:
+            if len(self._answers) >= self._cache_limit:
+                self._answers.clear()
+            self._answers[key] = answer
+        return answer
+
+    def verify(
+        self,
+        prefix: Optional[str] = None,
+        properties: Optional[Sequence[str]] = None,
+    ) -> Dict:
+        """Warm differential verification (whole network or one class).
+
+        Identical concurrent queries coalesce per destination class, and
+        answers are memoised -- the session's network never changes.
+        """
+        props = None if properties is None else tuple(properties)
+        key = ("verify", prefix, props)
+        start = time.perf_counter()
+
+        def compute() -> Dict:
+            report = self.session.verify(
+                None if props is None else list(props), prefix=prefix
+            )
+            return report.to_dict()
+
+        answer, coalesced = self._coalescer.run(key, lambda: self._cached(key, compute))
+        self.stats.record("verify", time.perf_counter() - start, coalesced)
+        return answer
+
+    def delta(self, script: Sequence[Dict], revalidate: bool = True) -> Dict:
+        """Validate a change script (list of ChangeSet dicts) against the
+        stored baseline: zero baseline re-solves."""
+        changesets = [ChangeSet.from_dict(dict(raw)) for raw in script]
+        key = ("delta", json.dumps([cs.to_dict() for cs in changesets], sort_keys=True), revalidate)
+        start = time.perf_counter()
+
+        def compute() -> Dict:
+            report = self.session.delta(changesets, revalidate=revalidate)
+            return report.to_dict()
+
+        answer, coalesced = self._coalescer.run(key, compute)
+        self.stats.record("delta", time.perf_counter() - start, coalesced)
+        return answer
+
+    def failures(
+        self,
+        k: int = 1,
+        sample: Optional[int] = None,
+        properties: Optional[Sequence[str]] = None,
+    ) -> Dict:
+        props = None if properties is None else tuple(properties)
+        key = ("failures", k, sample, props)
+        start = time.perf_counter()
+
+        def compute() -> Dict:
+            report = self.session.failures(
+                k=k,
+                sample=sample,
+                properties=None if props is None else list(props),
+            )
+            return report.to_dict()
+
+        answer, coalesced = self._coalescer.run(key, compute)
+        self.stats.record("failures", time.perf_counter() - start, coalesced)
+        return answer
+
+    def k_resilience(
+        self,
+        max_k: int = 2,
+        prop: str = "reachability",
+        sample: Optional[int] = None,
+    ) -> Dict:
+        key = ("k-resilience", max_k, prop, sample)
+        start = time.perf_counter()
+
+        def compute() -> Dict:
+            kwargs = {} if sample is None else {"sample": sample}
+            result = dict(self.session.k_resilience(max_k=max_k, prop=prop, **kwargs))
+            result["ok"] = True
+            return result
+
+        answer, coalesced = self._coalescer.run(key, compute)
+        self.stats.record("k_resilience", time.perf_counter() - start, coalesced)
+        return answer
+
+
+def parse_script(raw) -> List[ChangeSet]:
+    """Parse a request payload into a validated change script."""
+    if not isinstance(raw, list):
+        raise ValueError("a change script must be a list of ChangeSet objects")
+    script = []
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ValueError("each script step must be a ChangeSet dict")
+        if "changes" in entry:
+            script.append(ChangeSet.from_dict(entry))
+        else:
+            # A bare change dict becomes a single-change step.
+            change = change_from_dict(entry)
+            script.append(ChangeSet(name=change.describe(), changes=[change]))
+    return script

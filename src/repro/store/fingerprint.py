@@ -1,0 +1,83 @@
+"""Content-based network fingerprints keying the artifact store.
+
+The in-process memos key on :meth:`Graph.version` -- a mutation counter
+that is only meaningful inside one Python process.  A *persistent* store
+needs a key that survives process boundaries and identifies the network
+by content: two processes constructing the same topology and
+configurations must compute the same fingerprint, and any configuration
+or topology difference must change it.
+
+:func:`network_fingerprint` canonicalises the whole network -- topology
+plus every device configuration -- into a nested structure of sorted
+tuples and hashes its textual form with SHA-256.  Canonicalisation sorts
+sets and dict items by the ``repr`` of their canonical forms, never by
+``hash``, so the result is stable under ``PYTHONHASHSEED`` randomisation
+(bare ``pickle.dumps`` of anything containing a set is not).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Tuple
+
+from repro.config.network import Network
+
+
+def canonical_form(value) -> object:
+    """A deterministic, order-independent rendering of ``value``.
+
+    Dataclasses become ``(class name, sorted (field, value) pairs)``;
+    mappings and sets are sorted by the ``repr`` of their canonicalised
+    members.  The output contains only tuples, strings and primitives, so
+    its ``repr`` is reproducible across processes and hash seeds.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = tuple(
+            sorted(
+                (f.name, canonical_form(getattr(value, f.name)))
+                for f in dataclasses.fields(value)
+            )
+        )
+        return (type(value).__name__, fields)
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(
+                sorted(
+                    ((canonical_form(k), canonical_form(v)) for k, v in value.items()),
+                    key=repr,
+                )
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((canonical_form(v) for v in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_form(v) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Remaining config atoms (Prefix, enums, ...) render through repr,
+    # which the config layer keeps value-faithful for frozen objects.
+    return repr(value)
+
+
+def _topology_form(network: Network) -> Tuple:
+    graph = network.graph
+    nodes = tuple(sorted((repr(node) for node in graph.nodes)))
+    edges = tuple(sorted((repr(u), repr(v)) for u, v in graph.edges))
+    return (nodes, edges)
+
+
+def network_fingerprint(network: Network) -> str:
+    """The SHA-256 content fingerprint of a configured network.
+
+    Covers the directed topology and every device configuration; excludes
+    the display ``name`` (renaming a network does not change what any
+    analysis computes over it).
+    """
+    form = (
+        "repro-network-v1",
+        _topology_form(network),
+        canonical_form(network.devices),
+    )
+    return hashlib.sha256(repr(form).encode("utf-8")).hexdigest()

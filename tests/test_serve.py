@@ -1,0 +1,237 @@
+"""Tests for the warm-baseline verification service (`repro.serve`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import Session
+from repro.netgen.families import build_topology
+from repro.serve import VerificationService, create_server, parse_script, warm_service
+from repro.serve.service import QueryStats, _percentile
+
+
+@pytest.fixture(scope="module")
+def service():
+    return VerificationService(Session(build_topology("ring", 5)))
+
+
+@pytest.fixture(scope="module")
+def server(service):
+    httpd = create_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    yield f"http://{host}:{port}"
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _post(base, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        base + path, data=body, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _change_script(network):
+    device = sorted(network.devices)[0]
+    peer = next(iter(network.graph.successors(device)))
+    return [
+        {
+            "name": "prefer-peer",
+            "changes": [
+                {
+                    "kind": "local-pref-override",
+                    "device": str(device),
+                    "peer": str(peer),
+                    "local_pref": 300,
+                }
+            ],
+        }
+    ]
+
+
+# ----------------------------------------------------------------------
+# Service core
+# ----------------------------------------------------------------------
+class TestPercentiles:
+    def test_nearest_rank(self):
+        assert _percentile([], 0.95) == 0.0
+        assert _percentile([1.0], 0.95) == 1.0
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.50) == 51.0
+        assert _percentile(values, 0.95) == 95.0
+        assert _percentile(values, 1.0) == 100.0
+
+    def test_stats_summary(self):
+        stats = QueryStats()
+        for i in range(10):
+            stats.record("verify", 0.01 * (i + 1), coalesced=i % 2 == 0)
+        summary = stats.summary()["verify"]
+        assert summary["count"] == 10
+        assert summary["coalesced"] == 5
+        assert summary["p50_ms"] <= summary["p95_ms"] <= summary["max_ms"]
+
+
+class TestService:
+    def test_health(self, service):
+        health = service.health()
+        assert health["ok"] and health["warm"]
+        assert health["classes"] == 5
+        assert health["fingerprint"] == service.session.fingerprint
+
+    def test_verify_matches_session(self, service):
+        answer = service.verify()
+        assert answer["kind"] == "verification"
+        assert answer["ok"] is True
+        direct = service.session.verify().to_dict()
+        assert [r["prefix"] for r in answer["records"]] == [
+            r["prefix"] for r in direct["records"]
+        ]
+
+    def test_verify_answers_are_cached(self, service):
+        first = service.verify(prefix=str(service.session.classes[0].prefix))
+        second = service.verify(prefix=str(service.session.classes[0].prefix))
+        assert first is second  # memoised, not recomputed
+
+    def test_concurrent_verify_smoke(self, service):
+        """16 concurrent identical queries answer identically and match
+        the sequential (batch) path."""
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            answers = list(pool.map(lambda _: service.verify(), range(16)))
+        assert all(answer == answers[0] for answer in answers)
+        assert answers[0]["ok"] is True
+        stats = service.stats_summary()["queries"]["verify"]
+        assert stats["count"] >= 16
+        assert stats["p50_ms"] <= stats["p95_ms"]
+
+    def test_delta(self, service):
+        answer = service.delta(_change_script(service.session.network))
+        assert answer["kind"] == "delta"
+        assert answer["ok"] is True
+        assert answer["baseline_fingerprint"] == service.session.fingerprint
+
+    def test_failures(self, service):
+        answer = service.failures(k=1, sample=3, properties=["reachability"])
+        assert answer["kind"] == "failures"
+        assert answer["num_classes"] == 5
+
+    def test_k_resilience(self, service):
+        answer = service.k_resilience(max_k=1, sample=3)
+        assert answer["ok"] is True
+        assert answer["property"] == "reachability"
+
+
+class TestParseScript:
+    def test_changeset_dicts(self, service):
+        script = parse_script(_change_script(service.session.network))
+        assert len(script) == 1
+        assert script[0].changes[0].kind == "local-pref-override"
+
+    def test_bare_change_dicts(self, service):
+        raw = _change_script(service.session.network)[0]["changes"]
+        script = parse_script(raw)
+        assert len(script) == 1
+        assert script[0].changes[0].kind == "local-pref-override"
+
+    def test_rejects_non_lists(self):
+        with pytest.raises(ValueError, match="must be a list"):
+            parse_script({"kind": "link-remove"})
+        with pytest.raises(ValueError, match="ChangeSet dict"):
+            parse_script(["not-a-dict"])
+
+
+# ----------------------------------------------------------------------
+# HTTP front end
+# ----------------------------------------------------------------------
+class TestHttp:
+    def test_health_and_stats(self, server):
+        status, health = _get(server, "/health")
+        assert status == 200 and health["ok"] and health["classes"] == 5
+        status, stats = _get(server, "/stats")
+        assert status == 200 and stats["ok"]
+
+    def test_verify_endpoint(self, server, service):
+        status, answer = _post(server, "/verify", {})
+        assert status == 200
+        assert answer["kind"] == "verification" and answer["ok"]
+        prefix = str(service.session.classes[0].prefix)
+        status, scoped = _post(server, "/verify", {"prefix": prefix})
+        assert status == 200 and scoped["num_classes"] == 1
+
+    def test_delta_endpoint(self, server, service):
+        script = _change_script(service.session.network)
+        status, answer = _post(server, "/delta", {"script": script})
+        assert status == 200
+        assert answer["kind"] == "delta" and answer["ok"]
+
+    def test_delta_requires_script(self, server):
+        status, answer = _post(server, "/delta", {})
+        assert status == 400
+        assert "script" in answer["error"]
+
+    def test_failures_endpoint(self, server):
+        status, answer = _post(
+            server, "/failures", {"k": 1, "sample": 3, "properties": ["reachability"]}
+        )
+        assert status == 200 and answer["kind"] == "failures"
+
+    def test_k_resilience_endpoint(self, server):
+        status, answer = _post(server, "/k-resilience", {"max_k": 1, "sample": 3})
+        assert status == 200 and answer["ok"]
+
+    def test_unknown_paths_404(self, server):
+        status, answer = _get(server, "/nope")
+        assert status == 404 and not answer["ok"]
+        status, answer = _post(server, "/nope", {})
+        assert status == 404 and not answer["ok"]
+
+    def test_bad_json_400(self, server):
+        request = urllib.request.Request(
+            server + "/verify", data=b"{broken", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_prefix_400(self, server):
+        status, answer = _post(server, "/verify", {"prefix": "203.0.113.0/24"})
+        assert status == 400
+        assert "no destination class" in answer["error"]
+
+    def test_concurrent_http_verify(self, server):
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(
+                pool.map(lambda _: _post(server, "/verify", {}), range(16))
+            )
+        assert all(status == 200 for status, _ in results)
+        first = results[0][1]
+        assert all(answer == first for _, answer in results)
+
+
+class TestWarmService:
+    def test_loads_from_store(self, tmp_path):
+        network = build_topology("ring", 5)
+        Session(network, store=tmp_path)  # builds and saves
+        service = warm_service(build_topology("ring", 5), store=tmp_path)
+        assert not service.session.rebuilt
+        assert service.health()["classes"] == 5
