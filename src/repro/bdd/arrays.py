@@ -1,0 +1,756 @@
+"""An array-backed ROBDD engine with complement edges.
+
+This is the optional high-performance backend behind
+:func:`repro.bdd.make_manager` (``backend="array"`` or
+``REPRO_BDD_BACKEND=array``).  It exposes exactly the same public surface
+as the dict-based :class:`~repro.bdd.manager.BddManager` -- which stays
+the retained correctness oracle, the same pattern as
+``solve_sweep``/``find_abstraction_partition_reference`` -- but takes the
+classic ddlib route to speed:
+
+* **Flat node stores.**  Nodes live in three parallel preallocated
+  ``array('q')`` columns (``var``/``low``/``high``) indexed by node id,
+  grown by doubling, instead of per-node tuples in a dict.
+* **Complement edges.**  A function is an *edge*: ``node_id * 2 +
+  complement_bit``.  Negation is a single XOR (the dict backend walks the
+  whole BDD), and the usual ite normalisation rules over complements
+  roughly double memo-cache hit rates.  The single terminal is node ``0``
+  (the constant FALSE), so the module-level ``FALSE == 0`` / ``TRUE == 1``
+  constants are valid edges for both backends.
+* **Open-addressing tables.**  The unique table and the ite memo cache
+  are power-of-two open-addressing arrays with linear probing: the unique
+  table rehashes amortised at 2/3 load; the ite cache grows the same way
+  when unbounded and is cleared on overflow when a ``cache_limit`` is set
+  (the :class:`BddManager` precedent).
+* **Fully iterative traversals.**  ``ite``/``restrict``/``sat_count``/
+  ``evaluate``/``support``/``size``/``satisfying_assignments``/
+  ``to_expression`` all use explicit stacks, so 1500+-variable policy
+  chains cannot overflow Python's recursion limit.
+* **Ordered n-ary conjunction/disjunction.**  ``conjoin``/``disjoin``
+  sort their operands by top variable and fold deepest-first; for the
+  literal-chain shapes routing policies produce this turns the dict
+  backend's O(n^2) left fold into O(n) node creations.
+
+Semantics are node-id-*insensitive*: the two backends agree on every
+function (evaluation, sat counts, supports, equivalence classes of
+specialized policy keys) but not on raw ids -- within one manager, equal
+edge values still mean semantically equal functions, which is the only
+property the compression algorithm relies on.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.bdd.manager import FALSE, TRUE, BddError
+
+#: Sentinel variable index for the terminal node (sorts after all vars).
+_TERMINAL_VAR = sys.maxsize
+
+#: Multipliers for the unique-table / cache hash mix.  Kept below 32 bits
+#: so the products stay machine-word sized for realistic node counts.
+_H1 = 0x9E3779B1
+_H2 = 0x85EBCA77
+_H3 = 0xC2B2AE3D
+
+def _zeros(size: int) -> array:
+    """A zero-filled ``array('q')`` of ``size`` entries."""
+    return array("q", bytes(8 * size))
+
+
+class ArrayBddManager:
+    """Array-backed manager with the :class:`BddManager` public surface.
+
+    Parameters
+    ----------
+    num_vars:
+        Number of variables to pre-declare (more via :meth:`add_var`).
+    cache_limit:
+        Optional bound on the ite memo cache's *entry count*.  Unbounded
+        caches grow their table amortised; bounded ones are cleared when
+        the entry count reaches the limit (clear-on-overflow), exactly
+        like the dict backend.  The cache is an optimisation only.
+    """
+
+    backend_name = "array"
+
+    def __init__(self, num_vars: int = 0, cache_limit: Optional[int] = None):
+        if cache_limit is not None and cache_limit <= 0:
+            raise ValueError("cache_limit must be positive (or None for unbounded)")
+        self.cache_limit = cache_limit
+
+        # --- flat node store (node 0 is the FALSE terminal) -----------
+        capacity = 1024
+        self._var = _zeros(capacity)
+        self._low = _zeros(capacity)
+        self._high = _zeros(capacity)
+        self._var[0] = _TERMINAL_VAR
+        self._count = 1  # nodes allocated so far (including the terminal)
+
+        # --- open-addressing unique table (node ids; 0 = empty) -------
+        self._usize = 4096  # power of two
+        self._umask = self._usize - 1
+        self._utab = _zeros(self._usize)
+
+        # --- open-addressing ite cache --------------------------------
+        if cache_limit is None:
+            csize = 4096
+        else:
+            csize = 64
+            while csize < cache_limit * 2 and csize < 1 << 22:
+                csize <<= 1
+        self._csize = csize
+        self._cmask = csize - 1
+        self._cf = array("q", [-1]) * csize  # -1 = empty slot
+        self._cg = _zeros(csize)
+        self._ch = _zeros(csize)
+        self._cr = _zeros(csize)
+        self._cfill = 0
+
+        self._var_names: List[str] = []
+        for i in range(num_vars):
+            self.add_var(f"x{i}")
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Declare a new variable (appended last in the order); returns its index."""
+        index = len(self._var_names)
+        self._var_names.append(name if name is not None else f"x{index}")
+        return index
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._var_names)
+
+    def var_name(self, index: int) -> str:
+        return self._var_names[index]
+
+    def var_index(self, name: str) -> int:
+        try:
+            return self._var_names.index(name)
+        except ValueError as exc:
+            raise BddError(f"unknown variable {name!r}") from exc
+
+    def num_nodes(self) -> int:
+        """Total number of nodes allocated (including the terminal)."""
+        return self._count
+
+    def ite_cache_size(self) -> int:
+        """Current number of memoised ``ite`` results (bounded by
+        ``cache_limit`` when one is set)."""
+        return self._cfill
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _grow_nodes(self) -> None:
+        extra = self._count  # double
+        self._var.extend(_zeros(extra))
+        self._low.extend(_zeros(extra))
+        self._high.extend(_zeros(extra))
+
+    def _rehash_unique(self) -> None:
+        """Double the unique table and reinsert every node (amortised)."""
+        size = self._usize * 2
+        mask = size - 1
+        table = _zeros(size)
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        for node in range(1, self._count):
+            idx = (
+                var_arr[node] * _H1 ^ low_arr[node] * _H2 ^ high_arr[node] * _H3
+            ) & mask
+            while table[idx]:
+                idx = (idx + 1) & mask
+            table[idx] = node
+        self._usize = size
+        self._umask = mask
+        self._utab = table
+
+    def _insert_node(self, var: int, low: int, high: int, idx: int) -> int:
+        """Allocate a node at the free unique-table slot ``idx`` (slow path).
+
+        Assumes the probe already established the node is absent and that
+        ``high`` is regular.  Handles store growth and amortised rehash.
+        """
+        node = self._count
+        if node >= len(self._var):
+            self._grow_nodes()
+        self._var[node] = var
+        self._low[node] = low
+        self._high[node] = high
+        self._count = node + 1
+        self._utab[idx] = node
+        if self._count * 3 > self._usize * 2:
+            self._rehash_unique()
+        return node
+
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Canonical (hash-consed) edge for ``ite(var, high, low)``.
+
+        Complement normalisation: the then-edge is never complemented; a
+        complemented ``high`` flips both children and returns the node's
+        complement edge instead.
+        """
+        if low == high:
+            return low
+        out = 0
+        if high & 1:
+            low ^= 1
+            high ^= 1
+            out = 1
+        utab = self._utab
+        mask = self._umask
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        idx = (var * _H1 ^ low * _H2 ^ high * _H3) & mask
+        node = utab[idx]
+        while node:
+            if var_arr[node] == var and low_arr[node] == low and high_arr[node] == high:
+                return node << 1 | out
+            idx = (idx + 1) & mask
+            node = utab[idx]
+        return self._insert_node(var, low, high, idx) << 1 | out
+
+    def var(self, index: int) -> int:
+        """The BDD edge for the single variable ``index``."""
+        if index < 0 or index >= self.num_vars:
+            raise BddError(f"variable index {index} out of range")
+        return self._mk(index, FALSE, TRUE)
+
+    def nvar(self, index: int) -> int:
+        """The BDD edge for the negation of variable ``index``."""
+        if index < 0 or index >= self.num_vars:
+            raise BddError(f"variable index {index} out of range")
+        return self._mk(index, TRUE, FALSE)
+
+    def top_var(self, node: int) -> int:
+        """The decision variable of ``node`` (terminals have no variable)."""
+        if node >> 1 == 0:
+            raise BddError("terminal nodes have no variable")
+        return self._var[node >> 1]
+
+    def cofactors(self, node: int) -> Tuple[int, int]:
+        """The (low, high) cofactor edges of ``node``."""
+        n = node >> 1
+        if n == 0:
+            return node, node
+        c = node & 1
+        return self._low[n] ^ c, self._high[n] ^ c
+
+    # ------------------------------------------------------------------
+    # ITE cache
+    # ------------------------------------------------------------------
+    def _cache_clear(self) -> None:
+        self._cf = array("q", [-1]) * self._csize
+        self._cg = _zeros(self._csize)
+        self._ch = _zeros(self._csize)
+        self._cr = _zeros(self._csize)
+        self._cfill = 0
+
+    def _cache_grow(self) -> None:
+        """Double the cache table, re-inserting live entries (amortised)."""
+        old_f, old_g, old_h, old_r = self._cf, self._cg, self._ch, self._cr
+        old_size = self._csize
+        self._csize = old_size * 2
+        self._cmask = self._csize - 1
+        self._cache_clear()
+        cf, cg, ch, cr = self._cf, self._cg, self._ch, self._cr
+        mask = self._cmask
+        fill = 0
+        for slot in range(old_size):
+            f = old_f[slot]
+            if f < 0:
+                continue
+            idx = (f * _H1 ^ old_g[slot] * _H2 ^ old_h[slot] * _H3) & mask
+            while cf[idx] >= 0:
+                idx = (idx + 1) & mask
+            cf[idx] = f
+            cg[idx] = old_g[slot]
+            ch[idx] = old_h[slot]
+            cr[idx] = old_r[slot]
+            fill += 1
+        self._cfill = fill
+
+    # ------------------------------------------------------------------
+    # Core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else over edges: ``(f AND g) OR (NOT f AND h)``.
+
+        Explicit-stack iterative, with the standard complement-edge
+        normalisations: the condition and the then-branch are made
+        regular (``ite(NOT f, g, h) == ite(f, h, g)``; ``ite(f, NOT g, h)
+        == NOT ite(f, g, NOT h)``), so each semantic subproblem hits one
+        canonical cache slot.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        cache_limit = self.cache_limit
+        # Table references are hoisted to locals for the hot loop and
+        # refreshed whenever a slow path (grow / rehash / clear) swaps the
+        # underlying arrays out.
+        utab, umask = self._utab, self._umask
+        cf, cg, ch, cr = self._cf, self._cg, self._ch, self._cr
+        cmask, csize = self._cmask, self._csize
+
+        EXPAND, COMBINE = 0, 1
+        tasks = [(EXPAND, f, g, h)]
+        values: List[int] = []
+        push_task = tasks.append
+        push_value = values.append
+        pop_value = values.pop
+
+        while tasks:
+            frame = tasks.pop()
+            if frame[0] == COMBINE:
+                _, top, f, g, h, out = frame
+                high = pop_value()
+                low = pop_value()
+                # _mk, inlined (hot path: the node already exists).
+                if low == high:
+                    result = low
+                else:
+                    nout = 0
+                    if high & 1:
+                        low ^= 1
+                        high ^= 1
+                        nout = 1
+                    idx = (top * _H1 ^ low * _H2 ^ high * _H3) & umask
+                    node = utab[idx]
+                    while node:
+                        if (
+                            var_arr[node] == top
+                            and low_arr[node] == low
+                            and high_arr[node] == high
+                        ):
+                            break
+                        idx = (idx + 1) & umask
+                        node = utab[idx]
+                    if not node:
+                        node = self._insert_node(top, low, high, idx)
+                        utab, umask = self._utab, self._umask
+                    result = node << 1 | nout
+                # Store in the ite cache (open addressing: probe to a
+                # match or an empty slot; load is kept under 2/3).
+                idx = (f * _H1 ^ g * _H2 ^ h * _H3) & cmask
+                node = cf[idx]
+                while node >= 0:
+                    if node == f and cg[idx] == g and ch[idx] == h:
+                        break
+                    idx = (idx + 1) & cmask
+                    node = cf[idx]
+                if node < 0:
+                    self._cfill += 1
+                cf[idx] = f
+                cg[idx] = g
+                ch[idx] = h
+                cr[idx] = result
+                if cache_limit is not None and (
+                    self._cfill >= cache_limit or self._cfill * 3 > csize * 2
+                ):
+                    # Clear-on-overflow: the cache is an optimisation only
+                    # (the second clause keeps the fixed-size table's load
+                    # bounded when the limit exceeds its capacity).
+                    self._cache_clear()
+                    cf, cg, ch, cr = self._cf, self._cg, self._ch, self._cr
+                    cmask, csize = self._cmask, self._csize
+                elif self._cfill * 3 > csize * 2:
+                    self._cache_grow()
+                    cf, cg, ch, cr = self._cf, self._cg, self._ch, self._cr
+                    cmask, csize = self._cmask, self._csize
+                push_value(result ^ out)
+                continue
+
+            _, f, g, h = frame
+            out = 0
+            # Terminal shortcuts.
+            if f == TRUE:
+                push_value(g ^ out)
+                continue
+            if f == FALSE:
+                push_value(h ^ out)
+                continue
+            # Normalise: condition regular.
+            if f & 1:
+                f ^= 1
+                g, h = h, g
+            # Standard-triple normalisation over complements.
+            if g == f:
+                g = TRUE
+            elif g == f ^ 1:
+                g = FALSE
+            if h == f:
+                h = FALSE
+            elif h == f ^ 1:
+                h = TRUE
+            if g == h:
+                push_value(g ^ out)
+                continue
+            if g == TRUE and h == FALSE:
+                push_value(f ^ out)
+                continue
+            if g == FALSE and h == TRUE:
+                push_value(f ^ 1 ^ out)
+                continue
+            # Then-branch regular: ite(f, NOT g, h) = NOT ite(f, g, NOT h).
+            if g & 1:
+                g ^= 1
+                h ^= 1
+                out ^= 1
+
+            # Cache lookup (probe to a match or an empty slot).
+            idx = (f * _H1 ^ g * _H2 ^ h * _H3) & cmask
+            node = cf[idx]
+            hit = False
+            while node >= 0:
+                if node == f and cg[idx] == g and ch[idx] == h:
+                    push_value(cr[idx] ^ out)
+                    hit = True
+                    break
+                idx = (idx + 1) & cmask
+                node = cf[idx]
+            if hit:
+                continue
+
+            fn, gn, hn = f >> 1, g >> 1, h >> 1
+            fv = var_arr[fn]
+            gv = var_arr[gn] if gn else _TERMINAL_VAR
+            hv = var_arr[hn] if hn else _TERMINAL_VAR
+            top = fv if fv < gv else gv
+            if hv < top:
+                top = hv
+            if fv == top:
+                fc = f & 1
+                f0, f1 = low_arr[fn] ^ fc, high_arr[fn] ^ fc
+            else:
+                f0 = f1 = f
+            if gv == top:
+                gc = g & 1
+                g0, g1 = low_arr[gn] ^ gc, high_arr[gn] ^ gc
+            else:
+                g0 = g1 = g
+            if hv == top:
+                hc = h & 1
+                h0, h1 = low_arr[hn] ^ hc, high_arr[hn] ^ hc
+            else:
+                h0 = h1 = h
+            # Low subproblem solved first (matches the oracle's order).
+            push_task((COMBINE, top, f, g, h, out))
+            push_task((EXPAND, f1, g1, h1))
+            push_task((EXPAND, f0, g0, h0))
+
+        return values[-1]
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def apply_not(self, f: int) -> int:
+        # Complement edges make negation a bit flip.
+        return f ^ 1
+
+    def apply_and(self, f: int, g: int) -> int:
+        return self.ite(f, g, FALSE)
+
+    def apply_or(self, f: int, g: int) -> int:
+        return self.ite(f, TRUE, g)
+
+    def apply_xor(self, f: int, g: int) -> int:
+        return self.ite(f, g ^ 1, g)
+
+    def apply_implies(self, f: int, g: int) -> int:
+        return self.ite(f, g, TRUE)
+
+    def apply_iff(self, f: int, g: int) -> int:
+        return self.ite(f, g, g ^ 1)
+
+    def _ordered_fold(self, nodes: Iterable[int], conjunction: bool) -> int:
+        """AND/OR an iterable, folding deepest top variable first.
+
+        Both connectives are commutative and associative, so the fold
+        order is free; sorting by top variable means each step combines
+        an operand with an accumulator whose support lies at or below it.
+        For the literal/chain shapes that dominate policy encoding this
+        makes every step O(1) instead of a walk of the whole accumulator.
+        """
+        absorbing = FALSE if conjunction else TRUE
+        identity = TRUE if conjunction else FALSE
+        operands: List[int] = []
+        for node in nodes:
+            if node == absorbing:
+                return absorbing
+            if node != identity:
+                operands.append(node)
+        if not operands:
+            return identity
+        var_arr = self._var
+        operands.sort(key=lambda edge: var_arr[edge >> 1])
+        result = operands.pop()
+        combine = self.apply_and if conjunction else self.apply_or
+        while operands:
+            result = combine(operands.pop(), result)
+            if result == absorbing:
+                return absorbing
+        return result
+
+    def conjoin(self, nodes: Iterable[int]) -> int:
+        """AND of an iterable of BDDs (TRUE for the empty iterable)."""
+        return self._ordered_fold(nodes, conjunction=True)
+
+    def disjoin(self, nodes: Iterable[int]) -> int:
+        """OR of an iterable of BDDs (FALSE for the empty iterable)."""
+        return self._ordered_fold(nodes, conjunction=False)
+
+    # ------------------------------------------------------------------
+    # Restriction / quantification
+    # ------------------------------------------------------------------
+    def restrict(self, node: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``node`` with respect to a partial variable assignment.
+
+        Iterative; results are memoised per *node id* (the regular
+        function), with the incoming complement bit re-applied on exit,
+        so both polarities of a shared subgraph hit one cache entry.
+        """
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        cache: Dict[int, int] = {}
+
+        EXPAND, COMBINE, MEMO = 0, 1, 2
+        tasks: List[Tuple[int, int, int]] = [(EXPAND, node, 0)]
+        values: List[int] = []
+
+        while tasks:
+            phase, n, c = tasks.pop()
+            if phase == EXPAND:
+                c = n & 1
+                n >>= 1
+                if n == 0:
+                    values.append(c)
+                    continue
+                cached = cache.get(n)
+                if cached is not None:
+                    values.append(cached ^ c)
+                    continue
+                var = var_arr[n]
+                if var in assignment:
+                    tasks.append((MEMO, n, c))
+                    tasks.append(
+                        (EXPAND, high_arr[n] if assignment[var] else low_arr[n], 0)
+                    )
+                else:
+                    tasks.append((COMBINE, n, c))
+                    tasks.append((EXPAND, high_arr[n], 0))
+                    tasks.append((EXPAND, low_arr[n], 0))
+            elif phase == COMBINE:
+                high = values.pop()
+                low = values.pop()
+                result = self._mk(var_arr[n], low, high)
+                cache[n] = result
+                values.append(result ^ c)
+            else:  # MEMO
+                result = values.pop()
+                cache[n] = result
+                values.append(result ^ c)
+
+        return values[-1]
+
+    def exists(self, node: int, variables: Iterable[int]) -> int:
+        """Existentially quantify ``variables`` out of ``node``."""
+        result = node
+        for var in sorted(set(variables), reverse=True):
+            result = self.apply_or(
+                self.restrict(result, {var: False}), self.restrict(result, {var: True})
+            )
+        return result
+
+    def forall(self, node: int, variables: Iterable[int]) -> int:
+        """Universally quantify ``variables`` out of ``node``."""
+        result = node
+        for var in sorted(set(variables), reverse=True):
+            result = self.apply_and(
+                self.restrict(result, {var: False}), self.restrict(result, {var: True})
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def support(self, node: int) -> List[int]:
+        """The variables the function actually depends on, in order."""
+        seen = set()
+        variables = set()
+        stack = [node >> 1]
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            variables.add(self._var[n])
+            stack.append(self._low[n] >> 1)
+            stack.append(self._high[n] >> 1)
+        return sorted(variables)
+
+    def evaluate(self, node: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate the function under a total assignment of its support."""
+        edge = node
+        while edge >> 1:
+            n = edge >> 1
+            var = self._var[n]
+            if var not in assignment:
+                raise BddError(f"assignment missing variable {self.var_name(var)}")
+            child = self._high[n] if assignment[var] else self._low[n]
+            edge = child ^ (edge & 1)
+        return edge == TRUE
+
+    def _max_support_var(self, node: int) -> int:
+        """Largest variable index in the support (-1 for terminals)."""
+        best = -1
+        seen = set()
+        stack = [node >> 1]
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            if self._var[n] > best:
+                best = self._var[n]
+            stack.append(self._low[n] >> 1)
+            stack.append(self._high[n] >> 1)
+        return best
+
+    def sat_count(self, node: int, num_vars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``num_vars`` variables.
+
+        ``num_vars`` must cover the function's support (at least the
+        largest support variable + 1); anything smaller would make the
+        count meaningless, so it raises :class:`BddError` instead.
+        """
+        total_vars = num_vars if num_vars is not None else self.num_vars
+        if total_vars < 0:
+            raise BddError(f"num_vars must be non-negative, got {total_vars}")
+        highest = self._max_support_var(node)
+        if total_vars < highest + 1:
+            raise BddError(
+                f"num_vars={total_vars} is smaller than the support of the "
+                f"node (needs at least {highest + 1} variables)"
+            )
+        if node == FALSE:
+            return 0
+        if node == TRUE:
+            return 2**total_vars
+
+        var_arr = self._var
+        low_arr = self._low
+        high_arr = self._high
+        #: base[n] = satisfying assignments of the *regular* function of
+        #: node ``n`` over variables strictly below ``var(n)``.
+        base: Dict[int, int] = {}
+
+        def child_count(child_edge: int, level: int) -> int:
+            child = child_edge >> 1
+            if child == 0:
+                count = 0
+            else:
+                count = base[child] * (2 ** (var_arr[child] - level))
+            if child_edge & 1:
+                return 2 ** (total_vars - level) - count
+            return count
+
+        root = node >> 1
+        stack = [root]
+        while stack:
+            n = stack[-1]
+            if n in base:
+                stack.pop()
+                continue
+            pending = [
+                child
+                for child in (low_arr[n] >> 1, high_arr[n] >> 1)
+                if child != 0 and child not in base
+            ]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            level = var_arr[n] + 1
+            base[n] = child_count(low_arr[n], level) + child_count(high_arr[n], level)
+
+        count = base[root] * (2 ** var_arr[root])
+        if node & 1:
+            return 2**total_vars - count
+        return count
+
+    def satisfying_assignments(self, node: int) -> Iterator[Dict[int, bool]]:
+        """Iterate over partial satisfying assignments (one per BDD path).
+
+        Explicit-stack iterative; the enumeration order (low branch
+        before high branch) matches the dict backend.
+        """
+        VISIT, ASSIGN, UNSET = 0, 1, 2
+        partial: Dict[int, bool] = {}
+        tasks: List[Tuple[int, int, bool]] = [(VISIT, node, False)]
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        while tasks:
+            kind, payload, value = tasks.pop()
+            if kind == ASSIGN:
+                partial[payload] = value
+                continue
+            if kind == UNSET:
+                del partial[payload]
+                continue
+            edge = payload
+            n = edge >> 1
+            if n == 0:
+                if edge == TRUE:
+                    yield dict(partial)
+                continue
+            c = edge & 1
+            var = var_arr[n]
+            tasks.append((UNSET, var, False))
+            tasks.append((VISIT, high_arr[n] ^ c, False))
+            tasks.append((ASSIGN, var, True))
+            tasks.append((VISIT, low_arr[n] ^ c, False))
+            tasks.append((ASSIGN, var, False))
+
+    def size(self, node: int) -> int:
+        """Number of decision nodes reachable from ``node``."""
+        seen = set()
+        stack = [node >> 1]
+        while stack:
+            n = stack.pop()
+            if n == 0 or n in seen:
+                continue
+            seen.add(n)
+            stack.append(self._low[n] >> 1)
+            stack.append(self._high[n] >> 1)
+        return len(seen)
+
+    def to_expression(self, node: int) -> str:
+        """A human-readable nested if-then-else expression (for debugging).
+
+        Explicit-stack postorder with per-edge memoisation, so deep
+        policy chains cannot overflow the recursion limit.
+        """
+        expr: Dict[int, str] = {FALSE: "false", TRUE: "true"}
+        stack = [node]
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        while stack:
+            edge = stack[-1]
+            if edge in expr:
+                stack.pop()
+                continue
+            n = edge >> 1
+            c = edge & 1
+            low, high = low_arr[n] ^ c, high_arr[n] ^ c
+            pending = [child for child in (low, high) if child not in expr]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            name = self.var_name(var_arr[n])
+            expr[edge] = f"(if {name} then {expr[high]} else {expr[low]})"
+        return expr[node]

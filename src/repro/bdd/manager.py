@@ -50,6 +50,10 @@ class BddManager:
         policy BDDs of a large network to thousands of destinations).
     """
 
+    #: Registry name under which :func:`repro.bdd.make_manager` exposes
+    #: this backend.
+    backend_name = "dict"
+
     def __init__(self, num_vars: int = 0, cache_limit: Optional[int] = None):
         if cache_limit is not None and cache_limit <= 0:
             raise ValueError("cache_limit must be positive (or None for unbounded)")
@@ -387,14 +391,41 @@ class BddManager:
             n = self._high[n] if assignment[var] else self._low[n]
         return n == TRUE
 
+    def _max_support_var(self, node: int) -> int:
+        """Largest variable index in the support (-1 for terminals)."""
+        best = -1
+        seen = set()
+        stack = [node]
+        while stack:
+            n = stack.pop()
+            if n in (FALSE, TRUE) or n in seen:
+                continue
+            seen.add(n)
+            if self._var[n] > best:
+                best = self._var[n]
+            stack.append(self._low[n])
+            stack.append(self._high[n])
+        return best
+
     def sat_count(self, node: int, num_vars: Optional[int] = None) -> int:
         """Number of satisfying assignments over ``num_vars`` variables.
 
         Iterative: the per-node base counts are computed bottom-up over a
         postorder traversal, so deep BDDs cannot overflow the recursion
-        limit.
+        limit.  ``num_vars`` must cover the function's support (at least
+        the largest support variable + 1); anything smaller would make
+        ``2 ** (total_vars - level)`` go negative and silently return a
+        float, so it raises :class:`BddError` instead.
         """
         total_vars = num_vars if num_vars is not None else self.num_vars
+        if total_vars < 0:
+            raise BddError(f"num_vars must be non-negative, got {total_vars}")
+        highest = self._max_support_var(node)
+        if total_vars < highest + 1:
+            raise BddError(
+                f"num_vars={total_vars} is smaller than the support of the "
+                f"node (needs at least {highest + 1} variables)"
+            )
         if node == FALSE:
             return 0
         if node == TRUE:
@@ -435,22 +466,36 @@ class BddManager:
         return base[node] * (2 ** var_arr[node])
 
     def satisfying_assignments(self, node: int) -> Iterator[Dict[int, bool]]:
-        """Iterate over partial satisfying assignments (one per BDD path)."""
+        """Iterate over partial satisfying assignments (one per BDD path).
 
-        def walk(n: int, partial: Dict[int, bool]) -> Iterator[Dict[int, bool]]:
+        Explicit-stack iterative (the recursive form overflowed on the
+        same 1500+-var policy chains ``ite``/``restrict`` were fixed
+        for); enumeration order is low branch before high branch.
+        """
+        VISIT, ASSIGN, UNSET = 0, 1, 2
+        partial: Dict[int, bool] = {}
+        tasks: List[Tuple[int, int, bool]] = [(VISIT, node, False)]
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        while tasks:
+            kind, payload, value = tasks.pop()
+            if kind == ASSIGN:
+                partial[payload] = value
+                continue
+            if kind == UNSET:
+                del partial[payload]
+                continue
+            n = payload
             if n == FALSE:
-                return
+                continue
             if n == TRUE:
                 yield dict(partial)
-                return
-            var = self._var[n]
-            partial[var] = False
-            yield from walk(self._low[n], partial)
-            partial[var] = True
-            yield from walk(self._high[n], partial)
-            del partial[var]
-
-        yield from walk(node, {})
+                continue
+            var = var_arr[n]
+            tasks.append((UNSET, var, False))
+            tasks.append((VISIT, high_arr[n], False))
+            tasks.append((ASSIGN, var, True))
+            tasks.append((VISIT, low_arr[n], False))
+            tasks.append((ASSIGN, var, False))
 
     def size(self, node: int) -> int:
         """Number of decision nodes reachable from ``node``."""
@@ -466,12 +511,25 @@ class BddManager:
         return len(seen)
 
     def to_expression(self, node: int) -> str:
-        """A human-readable nested if-then-else expression (for debugging)."""
-        if node == FALSE:
-            return "false"
-        if node == TRUE:
-            return "true"
-        var = self.var_name(self._var[node])
-        low = self.to_expression(self._low[node])
-        high = self.to_expression(self._high[node])
-        return f"(if {var} then {high} else {low})"
+        """A human-readable nested if-then-else expression (for debugging).
+
+        Explicit-stack postorder with per-node memoisation, so deep
+        policy chains cannot overflow the recursion limit.
+        """
+        expr: Dict[int, str] = {FALSE: "false", TRUE: "true"}
+        stack = [node]
+        var_arr, low_arr, high_arr = self._var, self._low, self._high
+        while stack:
+            n = stack[-1]
+            if n in expr:
+                stack.pop()
+                continue
+            low, high = low_arr[n], high_arr[n]
+            pending = [child for child in (low, high) if child not in expr]
+            if pending:
+                stack.extend(pending)
+                continue
+            stack.pop()
+            name = self.var_name(var_arr[n])
+            expr[n] = f"(if {name} then {expr[high]} else {expr[low]})"
+        return expr[node]

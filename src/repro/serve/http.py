@@ -61,6 +61,10 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
+        if length < 0:
+            # A negative length would make rfile.read(-1) block on the
+            # open keep-alive socket until the client hangs up.
+            raise ValueError(f"invalid Content-Length {length}")
         if length > MAX_BODY_BYTES:
             raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         if length == 0:

@@ -1,0 +1,215 @@
+"""Differential tests: the array-backed BDD backend vs the dict oracle.
+
+Random formula DAGs are driven through both backends in lockstep and
+every *node-id-insensitive* property must agree: evaluation under random
+assignments, sat counts, supports, and restrict / quantification
+round-trips.  Raw node ids -- and therefore ``size()`` -- are NOT
+compared: the array backend uses complement edges, which legitimately
+share more structure (an xor and its negation are one node apart).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import (
+    BACKEND_ENV_VAR,
+    ArrayBddManager,
+    BddError,
+    BddManager,
+    PolicyBddEncoder,
+    available_backends,
+    make_manager,
+    resolve_backend,
+)
+
+NUM_VARS = 8
+
+#: One step of a random formula DAG: an operation plus operand indices
+#: (taken modulo the number of formulas built so far).
+_OPS = ("not", "and", "or", "xor", "iff", "implies", "ite")
+
+
+@st.composite
+def formula_programs(draw):
+    """A straight-line program over _OPS, starting from vars/constants."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_OPS),
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=0, max_value=63),
+                st.integers(min_value=0, max_value=63),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return steps
+
+
+def _run_program(manager, steps):
+    """Execute a program on one manager; returns every intermediate BDD."""
+    from repro.bdd import FALSE, TRUE
+
+    pool = [FALSE, TRUE] + [manager.var(i) for i in range(NUM_VARS)]
+    pool += [manager.nvar(i) for i in range(0, NUM_VARS, 2)]
+    for op, i, j, k in steps:
+        a = pool[i % len(pool)]
+        b = pool[j % len(pool)]
+        c = pool[k % len(pool)]
+        if op == "not":
+            pool.append(manager.apply_not(a))
+        elif op == "and":
+            pool.append(manager.apply_and(a, b))
+        elif op == "or":
+            pool.append(manager.apply_or(a, b))
+        elif op == "xor":
+            pool.append(manager.apply_xor(a, b))
+        elif op == "iff":
+            pool.append(manager.apply_iff(a, b))
+        elif op == "implies":
+            pool.append(manager.apply_implies(a, b))
+        else:
+            pool.append(manager.ite(a, b, c))
+    return pool
+
+
+def _assignments():
+    """A deterministic spread of total assignments over NUM_VARS."""
+    patterns = [0, (1 << NUM_VARS) - 1, 0b10101010, 0b01010101, 0b00110111]
+    return [
+        {v: bool((bits >> v) & 1) for v in range(NUM_VARS)} for bits in patterns
+    ]
+
+
+class TestDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(formula_programs())
+    def test_semantics_agree_on_random_dags(self, steps):
+        dict_mgr = BddManager(num_vars=NUM_VARS)
+        array_mgr = ArrayBddManager(num_vars=NUM_VARS)
+        dict_pool = _run_program(dict_mgr, steps)
+        array_pool = _run_program(array_mgr, steps)
+        assert len(dict_pool) == len(array_pool)
+        for df, af in zip(dict_pool, array_pool):
+            assert dict_mgr.sat_count(df) == array_mgr.sat_count(af)
+            assert dict_mgr.support(df) == array_mgr.support(af)
+            for assignment in _assignments():
+                assert dict_mgr.evaluate(df, assignment) == array_mgr.evaluate(
+                    af, assignment
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        formula_programs(),
+        st.integers(min_value=0, max_value=NUM_VARS - 1),
+        st.booleans(),
+    )
+    def test_restrict_and_quantification_round_trips(self, steps, var, value):
+        dict_mgr = BddManager(num_vars=NUM_VARS)
+        array_mgr = ArrayBddManager(num_vars=NUM_VARS)
+        df = _run_program(dict_mgr, steps)[-1]
+        af = _run_program(array_mgr, steps)[-1]
+        pairs = [
+            (dict_mgr.restrict(df, {var: value}), array_mgr.restrict(af, {var: value})),
+            (dict_mgr.exists(df, [var]), array_mgr.exists(af, [var])),
+            (dict_mgr.forall(df, [var]), array_mgr.forall(af, [var])),
+        ]
+        for d_result, a_result in pairs:
+            assert dict_mgr.sat_count(d_result) == array_mgr.sat_count(a_result)
+            for assignment in _assignments():
+                assert dict_mgr.evaluate(
+                    d_result, assignment
+                ) == array_mgr.evaluate(a_result, assignment)
+        # Shannon expansion: f == ite(x, f|x=1, f|x=0), on both backends.
+        for mgr, f in ((dict_mgr, df), (array_mgr, af)):
+            high = mgr.restrict(f, {var: True})
+            low = mgr.restrict(f, {var: False})
+            assert mgr.ite(mgr.var(var), high, low) == f
+
+    @settings(max_examples=60, deadline=None)
+    @given(formula_programs())
+    def test_model_enumeration_agrees(self, steps):
+        dict_mgr = BddManager(num_vars=NUM_VARS)
+        array_mgr = ArrayBddManager(num_vars=NUM_VARS)
+        df = _run_program(dict_mgr, steps)[-1]
+        af = _run_program(array_mgr, steps)[-1]
+        assert list(dict_mgr.satisfying_assignments(df)) == list(
+            array_mgr.satisfying_assignments(af)
+        )
+
+
+class TestCanonicityWithinArrayBackend:
+    """Canonicity (semantic equality == id equality) holds per manager."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(formula_programs())
+    def test_double_negation_and_idempotence(self, steps):
+        mgr = ArrayBddManager(num_vars=NUM_VARS)
+        f = _run_program(mgr, steps)[-1]
+        assert mgr.apply_not(mgr.apply_not(f)) == f
+        assert mgr.apply_and(f, f) == f
+        assert mgr.apply_or(f, f) == f
+        assert mgr.apply_xor(f, f) == 0
+
+
+class TestRegistry:
+    def test_available_backends(self):
+        assert available_backends() == ["array", "dict"]
+
+    def test_default_is_dict(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend() == "dict"
+        assert make_manager().backend_name == "dict"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "array")
+        assert resolve_backend() == "array"
+        assert make_manager().backend_name == "array"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "array")
+        assert make_manager(backend="dict").backend_name == "dict"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(BddError):
+            make_manager(backend="bogus")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "bogus")
+        with pytest.raises(BddError):
+            make_manager()
+
+    def test_encoder_seam(self, monkeypatch):
+        from repro.netgen.families import build_topology
+
+        network = build_topology("ring", 4)
+        assert (
+            PolicyBddEncoder(network, backend="array").manager.backend_name
+            == "array"
+        )
+        monkeypatch.setenv(BACKEND_ENV_VAR, "array")
+        assert PolicyBddEncoder(network).manager.backend_name == "array"
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert PolicyBddEncoder(network).manager.backend_name == "dict"
+
+
+class TestEncoderParity:
+    """One small end-to-end check: same partitions out of both backends.
+
+    (The bench's ``--check`` runs the full version of this on every
+    netgen family; this is the fast in-suite guard.)
+    """
+
+    def test_ring_partitions_match(self):
+        from repro.abstraction.bonsai import Bonsai
+        from repro.netgen.families import build_topology
+
+        network = build_topology("ring", 6)
+        groups = {}
+        for backend in ("dict", "array"):
+            encoder = PolicyBddEncoder(network, backend=backend)
+            encoder.encode_all_edges()
+            bonsai = Bonsai(network, encoder=encoder)
+            ec = bonsai.equivalence_classes()[0]
+            result = bonsai.compress(ec, build_network=False)
+            groups[backend] = frozenset(result.abstraction.groups())
+        assert groups["dict"] == groups["array"]

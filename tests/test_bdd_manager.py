@@ -1,13 +1,24 @@
-"""Unit tests for the ROBDD engine."""
+"""Unit tests for the ROBDD engine, run against both backends.
+
+Every test here exercises only within-manager properties (canonicity,
+semantic operations), which both the dict-based and the array-backed
+manager must satisfy identically.  Raw node ids are NOT comparable
+across backends and no test asserts any.
+"""
 
 import pytest
 
-from repro.bdd import FALSE, TRUE, BddError, BddManager
+from repro.bdd import FALSE, TRUE, BddError, make_manager
+
+
+@pytest.fixture(params=["dict", "array"])
+def backend(request) -> str:
+    return request.param
 
 
 @pytest.fixture
-def manager() -> BddManager:
-    return BddManager(num_vars=4)
+def manager(backend):
+    return make_manager(num_vars=4, backend=backend)
 
 
 class TestBasics:
@@ -28,8 +39,8 @@ class TestBasics:
         with pytest.raises(BddError):
             manager.nvar(-1)
 
-    def test_add_var_extends_order(self):
-        manager = BddManager()
+    def test_add_var_extends_order(self, backend):
+        manager = make_manager(backend=backend)
         index = manager.add_var("custom")
         assert manager.var_name(index) == "custom"
         assert manager.var_index("custom") == index
@@ -111,6 +122,18 @@ class TestOperations:
         assert manager.sat_count(manager.apply_and(a, b), num_vars=4) == 4
         assert manager.sat_count(manager.apply_xor(a, b), num_vars=4) == 8
 
+    def test_sat_count_rejects_num_vars_below_support(self, manager):
+        """Regression: num_vars smaller than the support used to return a
+        float (negative exponent) instead of raising."""
+        a, c = manager.var(0), manager.var(2)
+        f = manager.apply_and(a, c)
+        with pytest.raises(BddError):
+            manager.sat_count(f, num_vars=2)
+        with pytest.raises(BddError):
+            manager.sat_count(TRUE, num_vars=-1)
+        # The support boundary itself is fine (variables 0..2 need 3).
+        assert manager.sat_count(f, num_vars=3) == 2
+
     def test_satisfying_assignments(self, manager):
         a, b = manager.var(0), manager.var(1)
         f = manager.apply_and(a, manager.apply_not(b))
@@ -137,29 +160,29 @@ class TestOperations:
 class TestCacheLimit:
     """The ite memo cache stays bounded when a limit is set."""
 
-    def test_invalid_limit_rejected(self):
+    def test_invalid_limit_rejected(self, backend):
         with pytest.raises(ValueError):
-            BddManager(num_vars=2, cache_limit=0)
+            make_manager(num_vars=2, cache_limit=0, backend=backend)
         with pytest.raises(ValueError):
-            BddManager(num_vars=2, cache_limit=-5)
+            make_manager(num_vars=2, cache_limit=-5, backend=backend)
 
-    def test_unbounded_by_default(self):
-        manager = BddManager(num_vars=8)
+    def test_unbounded_by_default(self, backend):
+        manager = make_manager(num_vars=8, backend=backend)
         assert manager.cache_limit is None
 
-    def test_cache_cleared_on_overflow(self):
+    def test_cache_cleared_on_overflow(self, backend):
         limit = 50
-        manager = BddManager(num_vars=12, cache_limit=limit)
+        manager = make_manager(num_vars=12, cache_limit=limit, backend=backend)
         f = manager.conjoin(manager.var(i) for i in range(12))
         for i in range(12):
             f = manager.apply_or(f, manager.apply_xor(manager.var(i), manager.var((i + 1) % 12)))
         assert manager.ite_cache_size() <= limit
 
-    def test_memory_bounded_across_many_restricts(self):
+    def test_memory_bounded_across_many_restricts(self, backend):
         """Many specializations (restrict + quantification) keep the memo
         cache bounded, not growing with the number of destinations."""
         limit = 200
-        manager = BddManager(num_vars=16, cache_limit=limit)
+        manager = make_manager(num_vars=16, cache_limit=limit, backend=backend)
         f = manager.disjoin(
             manager.apply_and(manager.var(i), manager.var(i + 1)) for i in range(15)
         )
@@ -168,9 +191,9 @@ class TestCacheLimit:
             manager.exists(restricted, [(round_ + 3) % 16, (round_ + 7) % 16])
             assert manager.ite_cache_size() <= limit
 
-    def test_bounded_manager_computes_same_results(self):
-        bounded = BddManager(num_vars=10, cache_limit=10)
-        unbounded = BddManager(num_vars=10)
+    def test_bounded_manager_computes_same_results(self, backend):
+        bounded = make_manager(num_vars=10, cache_limit=10, backend=backend)
+        unbounded = make_manager(num_vars=10, backend=backend)
         for manager in (bounded, unbounded):
             acc = TRUE
             for i in range(9):

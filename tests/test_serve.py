@@ -213,6 +213,34 @@ class TestHttp:
             urllib.request.urlopen(request, timeout=30)
         assert excinfo.value.code == 400
 
+    def test_negative_content_length_400(self, server):
+        """Regression: a negative Content-Length used to reach
+        ``rfile.read(-1)``, which blocks the handler thread on the open
+        keep-alive connection until the client hangs up.  It must be
+        rejected with a 400 immediately instead."""
+        import socket
+        from urllib.parse import urlparse
+
+        parsed = urlparse(server)
+        with socket.create_connection(
+            (parsed.hostname, parsed.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /verify HTTP/1.1\r\n"
+                b"Host: test\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: -1\r\n"
+                b"\r\n"
+            )
+            response = b""
+            while b"bad request body" not in response:
+                chunk = sock.recv(4096)
+                if not chunk:
+                    break
+                response += chunk
+        assert response.startswith(b"HTTP/1.1 400")
+        assert b"bad request body" in response
+
     def test_unknown_prefix_400(self, server):
         status, answer = _post(server, "/verify", {"prefix": "203.0.113.0/24"})
         assert status == 400
