@@ -698,11 +698,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"  no stage regressed >{args.max_regression:.0%} vs {args.baseline}")
 
     if args.out:
+        from repro.perfutil import peak_rss_mb
+
         report = {
             "benchmark": "hotpaths",
             "mode": mode,
             "repeat": args.repeat,
             "stages": stages,
+            "peak_rss_mb": peak_rss_mb(),
             **extras,
         }
         with open(args.out, "w", encoding="utf-8") as handle:

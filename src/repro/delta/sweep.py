@@ -58,7 +58,7 @@ from repro.delta.changeset import ChangeSet
 from repro.delta.incremental import delta_resolve, diff_network_edges
 from repro.delta.revalidate import class_signature, revalidate_class
 from repro.failures.incremental import BaselineIndex, divergent_nodes
-from repro.reporting import ReportEnvelope, register_report
+from repro.reporting import ReportEnvelope, StreamingReport, register_report
 from repro.failures.soundness import lifted_abstract_verdicts
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
@@ -165,7 +165,7 @@ class ClassDeltaRecord:
 
 @register_report
 @dataclass
-class DeltaReport(ReportEnvelope):
+class DeltaReport(StreamingReport, ReportEnvelope):
     """Run-level aggregation of a what-if change sweep."""
 
     kind = "delta"
@@ -187,13 +187,16 @@ class DeltaReport(ReportEnvelope):
     #: Content fingerprint of the stored baseline artifact this run
     #: validated against, when one was supplied.
     baseline_fingerprint: Optional[str] = None
+    #: Peak resident set of the producing run in MiB, when measured
+    #: (``--memory-budget`` runs and the scale benchmark fill this).
+    peak_rss_mb: Optional[float] = None
     version: int = DELTA_REPORT_VERSION
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def _outcomes(self):
-        for record in self.records:
+        for record in self.iter_records():
             for outcome in record.steps:
                 yield record, outcome
 
@@ -306,14 +309,23 @@ class DeltaReport(ReportEnvelope):
     def canonical_records(self) -> Tuple[Tuple, ...]:
         return tuple(
             record.canonical()
-            for record in sorted(self.records, key=lambda r: r.prefix)
+            for record in sorted(self.iter_records(), key=lambda r: r.prefix)
         )
 
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict:
+    @classmethod
+    def record_from_payload(cls, payload: Dict) -> ClassDeltaRecord:
+        raw = dict(payload)
+        steps = [ChangeOutcome(**outcome) for outcome in raw.pop("steps", [])]
+        return ClassDeltaRecord(steps=steps, **raw)
+
+    def to_dict(self, include_records: bool = True) -> Dict:
         data = asdict(self)
+        data.pop("records", None)
+        if include_records:
+            data["records"] = self.records_payload()
         data.update(self.envelope_dict())
         data["aggregate"] = {
             "incremental_seconds": self.incremental_seconds,
@@ -334,11 +346,9 @@ class DeltaReport(ReportEnvelope):
     def from_dict(cls, data: Dict) -> "DeltaReport":
         payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
-        records = []
-        for raw in payload.pop("records", []):
-            raw = dict(raw)
-            steps = [ChangeOutcome(**outcome) for outcome in raw.pop("steps", [])]
-            records.append(ClassDeltaRecord(steps=steps, **raw))
+        records = [
+            cls.record_from_payload(raw) for raw in payload.pop("records", [])
+        ]
         return cls(records=records, **payload)
 
     @classmethod
@@ -633,7 +643,44 @@ def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict)
     #: signature; computed at most once per class.
     baseline_lifted = None
 
-    for step_index, (changeset, changed_network) in enumerate(state.steps):
+    # Sub-class chunking (the shard coordinator's ``step_range`` patches):
+    # run only steps ``[range_start, range_end)``.  A chunk starting
+    # mid-script fast-forwards the incremental chain by scratch-solving
+    # the step just before it -- SRP labelings are unique fixed points,
+    # so the seeded state (and hence every chunk outcome) is identical to
+    # the chained serial run's; only timings differ.
+    range_start, range_end = 0, len(state.steps)
+    if options.get("step_range") is not None:
+        range_start, range_end = (int(bound) for bound in options["step_range"])
+        range_start = max(0, range_start)
+        range_end = min(range_end, len(state.steps))
+    if range_start > 0:
+        prev_step = range_start - 1
+        prev_network = state.steps[prev_step][1]
+        prev_ec, _ = _class_on(prev_network, prefix)
+        if prev_ec is None:
+            # Serial left the chain unseedable after an unroutable step.
+            prev_solution = None
+            prev_keys = None
+            prev_index = None
+        else:
+            sim_prefix = prev_ec.prefix
+            sim_origins = set(prev_ec.origins)
+            forward_srp = build_srp_from_network(
+                prev_network,
+                sim_prefix,
+                sim_origins,
+                compiled=state.compiled_for(prev_step, network, sim_prefix),
+                include_syntactic_keys=False,
+            )
+            prev_solution = solve(forward_srp, max_rounds=max_rounds)
+            prev_keys = state.policy_keys(prev_step, network, sim_prefix)
+            prev_index = BaselineIndex.from_solution(prev_solution)
+            prev_prefix = sim_prefix
+            prev_origins = frozenset(str(origin) for origin in sim_origins)
+
+    for step_index in range(range_start, range_end):
+        changeset, changed_network = state.steps[step_index]
         outcome = ChangeOutcome(
             step=changeset.name,
             changes=[change.describe() for change in changeset.changes],
@@ -876,6 +923,11 @@ class DeltaSweep:
         batch_size: Optional[int] = None,
         limit: Optional[int] = None,
         use_bdds: bool = True,
+        scheduler: str = "stealing",
+        cost_store=None,
+        unit_costs: Optional[Dict[str, float]] = None,
+        spill: bool = False,
+        spill_path: Optional[str] = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -911,6 +963,8 @@ class DeltaSweep:
         self.rebuild_oracle = rebuild_oracle
         self.executor = executor
         self.workers = workers
+        self.spill = spill
+        self.spill_path = spill_path
         self._fanout_kwargs = dict(
             artifact=artifact,
             executor=executor,
@@ -918,6 +972,9 @@ class DeltaSweep:
             batch_size=batch_size,
             limit=limit,
             use_bdds=use_bdds,
+            scheduler=scheduler,
+            cost_store=cost_store,
+            unit_costs=unit_costs,
         )
 
     def run(self) -> DeltaReport:
@@ -935,13 +992,12 @@ class DeltaSweep:
             task_options=options,
             **self._fanout_kwargs,
         )
-        records: List[ClassDeltaRecord] = fanout.execute()
-        artifact = fanout.artifact
-        return DeltaReport(
+        artifact, classes = fanout.prepare()
+        report = DeltaReport(
             network_name=fanout.network.name,
             executor=self.executor,
             workers=1 if self.executor == "serial" else self.workers,
-            num_classes=len(fanout.last_classes),
+            num_classes=len(classes),
             num_steps=len(self.script),
             properties=list(self.suite.names),
             path_bound=self.suite.path_bound,
@@ -949,13 +1005,26 @@ class DeltaSweep:
             revalidate=self.revalidate,
             rebuild_oracle=self.rebuild_oracle,
             encode_seconds=artifact.encode_seconds,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=0.0,
             step_names=[changeset.name for changeset in self.script],
-            records=records,
             baseline_fingerprint=(
                 self.baseline.fingerprint if self.baseline is not None else None
             ),
         )
+        if self.spill:
+            from repro.pipeline.stream import RecordSpill
+
+            report.attach_spill(RecordSpill(self.spill_path))
+
+        # Records merge into the report as they stream off the pool (in
+        # class order at merge time, whatever order the scheduler
+        # completed them in) instead of collecting the whole sweep first.
+        def on_result(index: int, record: ClassDeltaRecord, seconds: float) -> None:
+            report.merge_partial(index, record)
+
+        fanout.execute(on_result=on_result, collect=False)
+        report.total_seconds = time.perf_counter() - start
+        return report
 
 
 def sweep_changes(

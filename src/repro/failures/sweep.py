@@ -61,7 +61,7 @@ from repro.failures.soundness import check_scenario_soundness
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
 from repro.srp.solver import TransferCache, solve
-from repro.reporting import ReportEnvelope, register_report
+from repro.reporting import ReportEnvelope, StreamingReport, register_report
 
 #: Format version of the JSON failure reports.
 FAILURE_REPORT_VERSION = 1
@@ -147,7 +147,7 @@ class ClassFailureRecord:
 
 @register_report
 @dataclass
-class FailureReport(ReportEnvelope):
+class FailureReport(StreamingReport, ReportEnvelope):
     """Run-level aggregation of a failure sweep."""
 
     kind = "failures"
@@ -170,13 +170,16 @@ class FailureReport(ReportEnvelope):
     #: only proofs when it does.
     exhaustive: bool = False
     records: List[ClassFailureRecord] = field(default_factory=list)
+    #: Peak resident set of the producing run in MiB, when measured
+    #: (``--memory-budget`` runs and the scale benchmark fill this).
+    peak_rss_mb: Optional[float] = None
     version: int = FAILURE_REPORT_VERSION
 
     # ------------------------------------------------------------------
     # Aggregates
     # ------------------------------------------------------------------
     def _outcomes(self):
-        for record in self.records:
+        for record in self.iter_records():
             for outcome in record.scenarios:
                 yield record, outcome
 
@@ -269,7 +272,7 @@ class FailureReport(ReportEnvelope):
         """
         order = {name: index for index, name in enumerate(self.scenario_names)}
         per_class: Dict[str, Dict[str, object]] = {}
-        for record in self.records:
+        for record in self.iter_records():
             baseline_failing = set(record.baseline_failing.get(prop, []))
             # The node universe: recorded explicitly; reports written
             # before the field existed fall back to the nodes the verdict
@@ -335,14 +338,23 @@ class FailureReport(ReportEnvelope):
     def canonical_records(self) -> Tuple[Tuple, ...]:
         return tuple(
             record.canonical()
-            for record in sorted(self.records, key=lambda r: r.prefix)
+            for record in sorted(self.iter_records(), key=lambda r: r.prefix)
         )
 
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict:
+    @classmethod
+    def record_from_payload(cls, payload: Dict) -> ClassFailureRecord:
+        raw = dict(payload)
+        outcomes = [ScenarioOutcome(**outcome) for outcome in raw.pop("scenarios", [])]
+        return ClassFailureRecord(scenarios=outcomes, **raw)
+
+    def to_dict(self, include_records: bool = True) -> Dict:
         data = asdict(self)
+        data.pop("records", None)
+        if include_records:
+            data["records"] = self.records_payload()
         data.update(self.envelope_dict())
         data["aggregate"] = {
             "incremental_seconds": self.incremental_seconds,
@@ -364,13 +376,9 @@ class FailureReport(ReportEnvelope):
     def from_dict(cls, data: Dict) -> "FailureReport":
         payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
-        records = []
-        for raw in payload.pop("records", []):
-            raw = dict(raw)
-            outcomes = [
-                ScenarioOutcome(**outcome) for outcome in raw.pop("scenarios", [])
-            ]
-            records.append(ClassFailureRecord(scenarios=outcomes, **raw))
+        records = [
+            cls.record_from_payload(raw) for raw in payload.pop("records", [])
+        ]
         return cls(records=records, **payload)
 
     @classmethod
@@ -723,6 +731,11 @@ class FailureSweep:
         batch_size: Optional[int] = None,
         limit: Optional[int] = None,
         use_bdds: bool = True,
+        scheduler: str = "stealing",
+        cost_store=None,
+        unit_costs: Optional[Dict[str, float]] = None,
+        spill: bool = False,
+        spill_path: Optional[str] = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
@@ -753,6 +766,8 @@ class FailureSweep:
         self.recompress_fallback = recompress_fallback
         self.executor = executor
         self.workers = workers
+        self.spill = spill
+        self.spill_path = spill_path
         self._fanout_kwargs = dict(
             artifact=artifact,
             executor=executor,
@@ -760,6 +775,9 @@ class FailureSweep:
             batch_size=batch_size,
             limit=limit,
             use_bdds=use_bdds,
+            scheduler=scheduler,
+            cost_store=cost_store,
+            unit_costs=unit_costs,
         )
 
     def run(self) -> FailureReport:
@@ -775,25 +793,37 @@ class FailureSweep:
             task_options=options,
             **self._fanout_kwargs,
         )
-        records: List[ClassFailureRecord] = fanout.execute()
-        artifact = fanout.artifact
-        return FailureReport(
+        artifact, classes = fanout.prepare()
+        report = FailureReport(
             network_name=fanout.network.name,
             executor=self.executor,
             workers=1 if self.executor == "serial" else self.workers,
             k=self.k,
-            num_classes=len(fanout.last_classes),
+            num_classes=len(classes),
             num_scenarios=len(self.scenarios),
             properties=list(self.suite.names),
             path_bound=self.suite.path_bound,
             oracle=self.oracle,
             soundness=self.soundness,
             encode_seconds=artifact.encode_seconds,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=0.0,
             scenario_names=[s.name for s in self.scenarios],
             exhaustive=self.exhaustive,
-            records=records,
         )
+        if self.spill:
+            from repro.pipeline.stream import RecordSpill
+
+            report.attach_spill(RecordSpill(self.spill_path))
+
+        # Records merge into the report as they stream off the pool (in
+        # class order at merge time, whatever order the scheduler
+        # completed them in) instead of collecting the whole sweep first.
+        def on_result(index: int, record: ClassFailureRecord, seconds: float) -> None:
+            report.merge_partial(index, record)
+
+        fanout.execute(on_result=on_result, collect=False)
+        report.total_seconds = time.perf_counter() - start
+        return report
 
 
 def sweep_network(

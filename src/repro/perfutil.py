@@ -1,0 +1,67 @@
+"""Process-level performance measurement shared by the benchmarks.
+
+The scale benchmark (``benchmarks/bench_scale.py``), the hot-path
+benchmark (``benchmarks/bench_hotpaths.py``) and the ``--memory-budget``
+CLI gate all need one number: the peak resident set of the work that just
+ran, including any worker processes a pool spawned.  :func:`peak_rss_mb`
+is that number, measured the cheap way the platform provides:
+
+* on POSIX, ``resource.getrusage`` -- ``ru_maxrss`` of the calling
+  process plus (optionally) the summed high-water mark of its reaped
+  children.  ``ru_maxrss`` is kilobytes on Linux and bytes on macOS;
+  both are normalised to MiB;
+* where :mod:`resource` is unavailable (non-POSIX builds), a
+  :mod:`tracemalloc` fallback reports the Python-heap peak instead --
+  an under-estimate, but still monotone in the workload, which is all
+  the regression gates need.
+
+``ru_maxrss`` is a high-water mark for the *process lifetime*: it never
+goes down.  Benchmarks that want a clean per-stage peak therefore run
+each stage in a fresh child process (see ``bench_scale.py``) rather than
+trying to reset the counter.
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # POSIX only; Windows builds fall back to tracemalloc.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None  # type: ignore[assignment]
+
+
+def _maxrss_to_mb(ru_maxrss: int) -> float:
+    # Linux reports kilobytes, macOS bytes (both "since process start").
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return ru_maxrss / (1024.0 * 1024.0)
+    return ru_maxrss / 1024.0
+
+
+def peak_rss_mb(include_children: bool = True) -> float:
+    """The peak resident set of this process, in MiB.
+
+    ``include_children`` adds the summed high-water mark of reaped child
+    processes (pool workers).  Self and children peak at different
+    moments, so the sum is an upper estimate of the true combined peak --
+    the conservative direction for a memory *budget* check.
+    """
+    if resource is not None:
+        total = _maxrss_to_mb(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        if include_children:
+            total += _maxrss_to_mb(
+                resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+            )
+        return total
+    return _tracemalloc_peak_mb()
+
+
+def _tracemalloc_peak_mb() -> float:  # pragma: no cover - non-POSIX fallback
+    import tracemalloc
+
+    if not tracemalloc.is_tracing():
+        # Nothing was traced: start now so at least future calls in this
+        # process see real numbers, and report the current heap.
+        tracemalloc.start()
+    _, peak = tracemalloc.get_traced_memory()
+    return peak / (1024.0 * 1024.0)

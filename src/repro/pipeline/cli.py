@@ -70,7 +70,12 @@ from repro.netgen.families import (
     default_failure_sample,
     default_size,
 )
-from repro.pipeline.core import EXECUTORS, CompressionPipeline, PipelineError
+from repro.pipeline.core import (
+    EXECUTORS,
+    SCHEDULERS,
+    CompressionPipeline,
+    PipelineError,
+)
 
 #: The subcommand names; an argv starting with one routes to the
 #: subcommand parser, anything else through the legacy flat-flag shim.
@@ -330,6 +335,29 @@ def _execution_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="use syntactic policy keys instead of BDDs (ablation mode)",
     )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULERS,
+        default="stealing",
+        help="process-executor scheduling: cost-aware work stealing "
+        "(default) or the original static pre-batching",
+    )
+    parser.add_argument(
+        "--cost-store",
+        default=None,
+        metavar="DIR",
+        help="artifact store root whose costs.json sidecars persist "
+        "observed per-class wall-clock between runs (warms the stealing "
+        "scheduler's dispatch order)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="bound aggregation memory: stream per-class records to a "
+        "disk spill and fail (exit 1) if peak RSS exceeds this many MiB",
+    )
 
 
 def _output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -504,6 +532,14 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "--syntactic", action="store_true",
         help="use syntactic policy keys instead of BDDs",
     )
+    store_save.add_argument(
+        "--executor", choices=EXECUTORS, default="serial",
+        help="how to parallelise the per-class bake (default: serial)",
+    )
+    store_save.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for thread/process bakes",
+    )
 
     store_list = store_commands.add_parser(
         "list", help="list every entry's provenance metadata"
@@ -602,7 +638,22 @@ def _emit_reports(args, reports) -> bool:
     if not args.output:
         return True
     if len(reports) == 1:
-        text = next(iter(reports.values())).to_json()
+        report = next(iter(reports.values()))
+        if getattr(report, "spill", None) is not None:
+            # Spilled reports stream to disk record by record -- the
+            # whole point of the memory budget is never materialising
+            # every record at once, serialisation included.
+            try:
+                report.write_json(args.output)
+            except OSError as exc:
+                print(
+                    f"error: cannot write report to {args.output}: {exc}",
+                    file=sys.stderr,
+                )
+                return False
+            print(f"  report written to {args.output}")
+            return True
+        text = report.to_json()
     else:
         text = json.dumps(
             {family: report.to_dict() for family, report in reports.items()},
@@ -615,6 +666,37 @@ def _emit_reports(args, reports) -> bool:
 def _report_status(failed: bool, emitted: bool) -> int:
     """The one exit-code convention: 1 on any gate failure or write error."""
     return 1 if (failed or not emitted) else 0
+
+
+def _sweep_scale_kwargs(args) -> dict:
+    """The shard-scheduler knobs shared by every sweep subcommand.
+
+    ``getattr`` defaults keep the pinned legacy flag parser (which never
+    grew these options) working unchanged.
+    """
+    memory_budget = getattr(args, "memory_budget", None)
+    return dict(
+        scheduler=getattr(args, "scheduler", "stealing"),
+        cost_store=getattr(args, "cost_store", None),
+        spill=memory_budget is not None,
+    )
+
+
+def _check_memory_budget(args, report) -> bool:
+    """Record peak RSS on the report; False when it exceeds the budget."""
+    memory_budget = getattr(args, "memory_budget", None)
+    if memory_budget is None:
+        return True
+    from repro.perfutil import peak_rss_mb
+
+    observed = peak_rss_mb()
+    report.peak_rss_mb = observed
+    within = observed <= memory_budget
+    print(
+        f"  peak RSS: {observed:.1f} MiB "
+        f"({'within' if within else 'EXCEEDS'} budget {memory_budget:.1f} MiB)"
+    )
+    return within
 
 
 def _run_verify(args, families: List[str]) -> int:
@@ -663,6 +745,8 @@ def _run_verify(args, families: List[str]) -> int:
                 limit=args.limit,
                 timeout_seconds=remaining,
                 use_bdds=not args.syntactic,
+                scheduler=getattr(args, "scheduler", "stealing"),
+                cost_store=getattr(args, "cost_store", None),
             )
             try:
                 report = verifier.run(raise_on_timeout=False)
@@ -724,6 +808,7 @@ def _run_failures(args, families: List[str]) -> int:
                 batch_size=args.batch_size,
                 limit=args.limit,
                 use_bdds=not args.syntactic,
+                **_sweep_scale_kwargs(args),
             )
             report = sweep.run()
         except PipelineError as exc:
@@ -734,8 +819,10 @@ def _run_failures(args, families: List[str]) -> int:
         print(f"== failure sweep: {family}({size}) ==")
         for line in report.summary_lines():
             print(f"  {line}")
+        if not _check_memory_budget(args, report):
+            failed = True
         if args.per_class:
-            for record in report.records:
+            for record in report.iter_records():
                 broken = sum(
                     1 for outcome in record.scenarios if outcome.newly_failing
                 )
@@ -834,6 +921,7 @@ def _run_delta(args, families: List[str]) -> int:
                 batch_size=args.batch_size,
                 limit=args.limit,
                 use_bdds=not args.syntactic,
+                **_sweep_scale_kwargs(args),
             )
             report = sweep.run()
         except ChangeError as exc:
@@ -846,15 +934,19 @@ def _run_delta(args, families: List[str]) -> int:
         failed = failed or not report.ok()
         print(f"== change-impact sweep: {family}({size}) ==")
         if baseline is not None:
-            warm = sum(1 for record in report.records if record.baseline_from_store)
+            warm = sum(
+                1 for record in report.iter_records() if record.baseline_from_store
+            )
             print(
                 f"  warm baseline {baseline.fingerprint[:12]}...: "
-                f"{warm}/{len(report.records)} classes seeded from the store"
+                f"{warm}/{report.record_count()} classes seeded from the store"
             )
         for line in report.summary_lines():
             print(f"  {line}")
+        if not _check_memory_budget(args, report):
+            failed = True
         if args.per_class:
-            for record in report.records:
+            for record in report.iter_records():
                 broken = sum(1 for outcome in record.steps if outcome.newly_failing)
                 reused = sum(1 for outcome in record.steps if outcome.reused)
                 print(
@@ -868,6 +960,7 @@ def _run_delta(args, families: List[str]) -> int:
 def _run_compress(args, family: str) -> int:
     size = args.size if args.size is not None else default_size(family)
     network = build_topology(family, size)
+    memory_budget = getattr(args, "memory_budget", None)
     try:
         pipeline = CompressionPipeline(
             network,
@@ -877,30 +970,37 @@ def _run_compress(args, family: str) -> int:
             limit=args.limit,
             build_networks=args.build_networks,
             use_bdds=not args.syntactic,
+            scheduler=getattr(args, "scheduler", "stealing"),
+            cost_store=getattr(args, "cost_store", None),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        run = pipeline.run()
+        if memory_budget is not None:
+            # Streaming mode: per-class records spill to disk as they
+            # arrive, so peak RSS stays bounded on fat topologies.
+            report = pipeline.run_streaming(spill=True)
+        else:
+            report = pipeline.run().report
     except PipelineError as exc:
         print(f"pipeline failed: {exc}", file=sys.stderr)
         return 1
 
-    report = run.report
     print(f"== compression pipeline: {family}({size}) ==")
     for line in report.summary_lines():
         print(f"  {line}")
+    within = _check_memory_budget(args, report)
     if args.per_class:
-        for record in report.records:
+        for record in report.iter_records():
             print(
                 f"  {record.prefix}: {record.concrete_nodes} -> "
                 f"{record.abstract_nodes} nodes "
                 f"({record.node_ratio:.2f}x) in {record.compression_seconds:.4f}s"
             )
-    if args.output and not _write_output(args.output, report.to_json()):
+    if not _emit_reports(args, {family: report}):
         return 1
-    return 0
+    return 0 if within else 1
 
 
 def _run_store(args) -> int:
@@ -939,6 +1039,9 @@ def _run_store(args) -> int:
                 use_bdds=not args.syntactic,
                 compress=not args.no_compress,
                 limit=args.limit,
+                executor=args.executor,
+                workers=args.workers,
+                cost_store=store,
             )
             entry = store.save(artifact)
             print(
@@ -981,6 +1084,13 @@ def _run_store(args) -> int:
         f"entry verifies: {stats['num_classes']} classes, "
         f"{stats['compressed_classes']} compressed"
     )
+    costs = store.load_costs(fingerprint)
+    for task_path, block in sorted(costs.get("tasks", {}).items()):
+        print(
+            f"observed costs [{task_path}]: {block.get('num_units', 0)} units, "
+            f"{block.get('total_seconds', 0.0):.3f}s total, "
+            f"recorded {block.get('recorded_at', '?')}"
+        )
     return 0
 
 

@@ -58,6 +58,11 @@ from repro.pipeline.report import EcRecord, PipelineReport
 #: The executors understood by :class:`ClassFanOut`.
 EXECUTORS = ("serial", "thread", "process")
 
+#: The process-executor schedulers: ``"stealing"`` routes through the
+#: cost-aware :class:`~repro.pipeline.shard.ShardCoordinator`; ``"static"``
+#: keeps the original contiguous pre-batching.
+SCHEDULERS = ("stealing", "static")
+
 
 class PipelineError(RuntimeError):
     """A worker failed while running a per-class task."""
@@ -84,6 +89,11 @@ def register_class_task(name: str, path: str) -> None:
 
 def resolve_class_task(name_or_path: str) -> str:
     """Normalise a task reference to its ``"module:function"`` path."""
+    if not isinstance(name_or_path, str) or not name_or_path.strip():
+        raise ValueError(
+            "task name must be a non-empty string (a registered name or a "
+            "'module:function' path)"
+        )
     if name_or_path in CLASS_TASKS:
         return CLASS_TASKS[name_or_path]
     if ":" in name_or_path:
@@ -129,17 +139,21 @@ def _run_batch(
     task_path: str,
     batch: Sequence[Tuple[int, EquivalenceClass]],
     options: dict,
-) -> List[Tuple[int, object]]:
+) -> List[Tuple[int, object, float]]:
     """Run one batch of ``(index, class)`` pairs through a task in a worker.
 
-    Failures are returned as ``(index, _WorkerFailure)`` markers rather than
-    raised, so one bad class produces a clean coordinator-side error naming
-    the class instead of a bare pickled traceback from the pool.
+    Each entry comes back as ``(index, result, seconds)`` -- the observed
+    per-class wall-clock feeds the cost model scheduling the next sweep.
+    Failures are returned as ``(index, _WorkerFailure, seconds)`` markers
+    rather than raised, so one bad class produces a clean coordinator-side
+    error naming the class instead of a bare pickled traceback from the
+    pool.
     """
     bonsai: Bonsai = _worker_state.bonsai
     task = _import_task(task_path)
-    out: List[Tuple[int, object]] = []
+    out: List[Tuple[int, object, float]] = []
     for index, equivalence_class in batch:
+        start = time.perf_counter()
         try:
             result = task(bonsai, equivalence_class, options)
         except Exception as exc:  # noqa: BLE001 - reported to the coordinator
@@ -151,10 +165,11 @@ def _run_batch(
                         error=repr(exc),
                         traceback=traceback.format_exc(),
                     ),
+                    time.perf_counter() - start,
                 )
             )
         else:
-            out.append((index, result))
+            out.append((index, result, time.perf_counter() - start))
     return out
 
 
@@ -193,11 +208,29 @@ class ClassFanOut:
     batch_size:
         Classes per work unit.  Defaults to spreading the classes evenly
         so each worker sees about four batches (cheap load balancing
-        without per-class submission overhead).
+        without per-class submission overhead).  Setting it explicitly
+        forces the static scheduler (the stealing coordinator plans its
+        own cost-weighted bundles).
     limit:
         Run only the first ``limit`` classes.
     use_bdds:
         Forwarded to :class:`~repro.abstraction.bonsai.Bonsai`.
+    scheduler:
+        How the *process* executor dispatches work: ``"stealing"``
+        (default) routes through the cost-aware
+        :class:`~repro.pipeline.shard.ShardCoordinator` -- a shared work
+        queue dispatched largest-first from observed per-class costs;
+        ``"static"`` keeps the original contiguous pre-batching.  The
+        serial/thread executors ignore this.
+    cost_store:
+        An :class:`~repro.store.ArtifactStore` (or its path) whose
+        ``costs.json`` sidecars persist observed per-class wall-clock
+        between processes.  Optional; without it costs still flow through
+        an in-process cache, and a cold schedule falls back to a size
+        heuristic.
+    unit_costs:
+        Explicit ``{class prefix: seconds}`` scheduling weights,
+        overriding the store lookup (benchmarks and tests).
     """
 
     def __init__(
@@ -212,10 +245,17 @@ class ClassFanOut:
         batch_size: Optional[int] = None,
         limit: Optional[int] = None,
         use_bdds: bool = True,
+        scheduler: str = "stealing",
+        cost_store=None,
+        unit_costs: Optional[Dict[str, float]] = None,
     ):
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULERS}"
             )
         if network is None and artifact is None:
             raise ValueError("either a network or an EncodedNetwork is required")
@@ -234,9 +274,18 @@ class ClassFanOut:
         self.batch_size = batch_size
         self.limit = limit
         self.use_bdds = use_bdds
+        self.scheduler = scheduler
+        self.cost_store = cost_store
+        self.unit_costs = dict(unit_costs) if unit_costs else None
         #: What the most recent :meth:`execute` actually ran.
         self.last_classes: List[EquivalenceClass] = []
         self.last_batches: List[List[Tuple[int, EquivalenceClass]]] = []
+        self.last_scheduler: str = "static"
+        #: Observed per-class wall-clock / unit counts of the last execute
+        #: (what gets recorded into the cost model).
+        self.last_unit_seconds: Dict[str, float] = {}
+        self.last_unit_counts: Dict[str, int] = {}
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Batching
@@ -263,39 +312,164 @@ class ClassFanOut:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self) -> List[object]:
-        """Run the task on every class; results come back in class order.
+    def prepare(self) -> Tuple[EncodedNetwork, List[EquivalenceClass]]:
+        """Build (or reuse) the artifact and resolve the classes to run.
 
-        The classes and batches actually used are kept on
-        ``last_classes`` / ``last_batches`` so aggregators report exactly
-        what ran instead of re-deriving (and possibly diverging from) the
-        batching.
+        Streaming drivers call this before :meth:`execute` so report
+        skeletons (class counts, encode time) exist before the first
+        result arrives.
         """
         artifact = self._ensure_artifact()
         classes = artifact.classes
         if self.limit is not None:
             classes = classes[: self.limit]
-        batches = self.partition(classes)
         self.last_classes = classes
-        self.last_batches = batches
+        return artifact, classes
 
-        if self.executor == "serial" or not batches:
-            indexed_results = self._run_serial(artifact, batches)
+    def network_fingerprint(self) -> str:
+        """The content fingerprint keying this network's observed costs."""
+        if self._fingerprint is None:
+            from repro.store.fingerprint import network_fingerprint
+
+            self._fingerprint = network_fingerprint(self.network)
+        return self._fingerprint
+
+    def execute(
+        self,
+        on_result: Optional[Callable[[int, object, float], None]] = None,
+        collect: Optional[bool] = None,
+    ) -> Optional[List[object]]:
+        """Run the task on every class.
+
+        With ``on_result`` the per-class results *stream*: the callback
+        receives ``(class index, result, observed seconds)`` as each
+        class completes (completion order, not class order), and by
+        default nothing is collected -- the driver holds O(1) results in
+        memory.  Without it, the full result list comes back in class
+        order, exactly as before.  ``collect`` overrides the default
+        (``on_result is None``) when a caller wants both.
+
+        The classes and batches actually used are kept on
+        ``last_classes`` / ``last_batches`` so aggregators report exactly
+        what ran instead of re-deriving (and possibly diverging from) the
+        batching; observed per-class wall-clock lands on
+        ``last_unit_seconds`` and feeds the cost model for the next run.
+        """
+        if collect is None:
+            collect = on_result is None
+        artifact, classes = self.prepare()
+        self.last_unit_seconds = {}
+        self.last_unit_counts = {}
+
+        stealing = (
+            self.executor == "process"
+            and self.scheduler == "stealing"
+            and self.batch_size is None
+            and bool(classes)
+        )
+        self.last_scheduler = "stealing" if stealing else "static"
+        if stealing:
+            indexed_results = self._run_stealing(
+                artifact, classes, on_result=on_result, collect=collect
+            )
         else:
-            indexed_results = self._run_pool(artifact, batches)
+            batches = self.partition(classes)
+            self.last_batches = batches
+            if self.executor == "serial" or not batches:
+                indexed_results = self._run_serial(
+                    artifact, batches, on_result=on_result, collect=collect
+                )
+            else:
+                indexed_results = self._run_pool(
+                    artifact, batches, on_result=on_result, collect=collect
+                )
+        self._record_costs()
 
+        if not collect:
+            return None
         return [result for _, result in sorted(indexed_results, key=lambda p: p[0])]
+
+    def _note_unit(
+        self,
+        index: int,
+        equivalence_class: EquivalenceClass,
+        result: object,
+        seconds: float,
+        on_result,
+        out,
+    ) -> None:
+        prefix = str(equivalence_class.prefix)
+        self.last_unit_seconds[prefix] = (
+            self.last_unit_seconds.get(prefix, 0.0) + seconds
+        )
+        self.last_unit_counts[prefix] = self.last_unit_counts.get(prefix, 0) + 1
+        if on_result is not None:
+            on_result(index, result, seconds)
+        if out is not None:
+            out.append((index, result))
+
+    def _record_costs(self) -> None:
+        """Transparently persist observed per-class costs (advisory: a
+        broken cost store must never fail the sweep it advised)."""
+        if not self.last_unit_seconds:
+            return
+        if self.cost_store is None and self.last_scheduler != "stealing":
+            return
+        try:
+            from repro.pipeline import shard
+
+            shard.remember_costs(
+                self.network_fingerprint(),
+                self.task,
+                self.last_unit_seconds,
+                self.last_unit_counts,
+                cost_store=self.cost_store,
+            )
+        except Exception:  # noqa: BLE001 - cost data is advisory
+            pass
+
+    def _run_stealing(
+        self,
+        artifact: EncodedNetwork,
+        classes: Sequence[EquivalenceClass],
+        on_result,
+        collect: bool,
+    ) -> List[Tuple[int, object]]:
+        from repro.pipeline import shard
+
+        coordinator = shard.ShardCoordinator(
+            artifact=artifact,
+            task_path=self.task,
+            options=self.task_options,
+            classes=classes,
+            workers=self.workers,
+            unit_costs=self.unit_costs,
+            fingerprint=self.network_fingerprint(),
+            cost_store=self.cost_store,
+        )
+        coordinator.plan()
+        self.last_batches = [
+            [(unit.index, unit.equivalence_class) for unit in bundle]
+            for bundle in coordinator.bundles
+        ]
+        results = coordinator.run(on_result=on_result, collect=collect)
+        self.last_unit_seconds = dict(coordinator.observed_seconds)
+        self.last_unit_counts = dict(coordinator.observed_units)
+        return results if results is not None else []
 
     def _run_serial(
         self,
         artifact: EncodedNetwork,
         batches: List[List[Tuple[int, EquivalenceClass]]],
+        on_result=None,
+        collect: bool = True,
     ) -> List[Tuple[int, object]]:
         bonsai = artifact.make_bonsai()
         task = _import_task(self.task)
-        out: List[Tuple[int, object]] = []
+        out: Optional[List[Tuple[int, object]]] = [] if collect else None
         for batch in batches:
             for index, equivalence_class in batch:
+                start = time.perf_counter()
                 try:
                     result = task(bonsai, equivalence_class, self.task_options)
                 except Exception as exc:
@@ -303,8 +477,15 @@ class ClassFanOut:
                         f"task {self.task!r} on equivalence class "
                         f"{equivalence_class.prefix} failed: {exc!r}"
                     ) from exc
-                out.append((index, result))
-        return out
+                self._note_unit(
+                    index,
+                    equivalence_class,
+                    result,
+                    time.perf_counter() - start,
+                    on_result,
+                    out,
+                )
+        return out if out is not None else []
 
     def _make_pool(self, payload: bytes) -> Executor:
         if self.executor == "process":
@@ -323,9 +504,12 @@ class ClassFanOut:
         self,
         artifact: EncodedNetwork,
         batches: List[List[Tuple[int, EquivalenceClass]]],
+        on_result=None,
+        collect: bool = True,
     ) -> List[Tuple[int, object]]:
         payload = artifact.to_bytes()
-        out: List[Tuple[int, object]] = []
+        class_by_index = {index: ec for batch in batches for index, ec in batch}
+        out: Optional[List[Tuple[int, object]]] = [] if collect else None
         try:
             with self._make_pool(payload) as pool:
                 pending = {
@@ -336,7 +520,7 @@ class ClassFanOut:
                     while pending:
                         done, pending = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
-                            for index, item in future.result():
+                            for index, item, seconds in future.result():
                                 if isinstance(item, _WorkerFailure):
                                     raise PipelineError(
                                         f"task {self.task!r} on equivalence class "
@@ -344,7 +528,14 @@ class ClassFanOut:
                                         f"{self.executor} worker: {item.error}\n"
                                         f"{item.traceback}"
                                     )
-                                out.append((index, item))
+                                self._note_unit(
+                                    index,
+                                    class_by_index[index],
+                                    item,
+                                    seconds,
+                                    on_result,
+                                    out,
+                                )
                 except BaseException:
                     # Surface the error now rather than after every queued
                     # batch has run to completion.
@@ -358,7 +549,7 @@ class ClassFanOut:
                 f"{self.executor} pool failed while running {self.task!r} on "
                 f"{self.network.name}: {exc!r}"
             ) from exc
-        return out
+        return out if out is not None else []
 
 
 @dataclass
@@ -396,6 +587,9 @@ class CompressionPipeline(ClassFanOut):
         limit: Optional[int] = None,
         build_networks: bool = False,
         use_bdds: bool = True,
+        scheduler: str = "stealing",
+        cost_store=None,
+        unit_costs: Optional[Dict[str, float]] = None,
     ):
         super().__init__(
             network,
@@ -407,6 +601,9 @@ class CompressionPipeline(ClassFanOut):
             batch_size=batch_size,
             limit=limit,
             use_bdds=use_bdds,
+            scheduler=scheduler,
+            cost_store=cost_store,
+            unit_costs=unit_costs,
         )
         self.build_networks = build_networks
 
@@ -441,3 +638,43 @@ class CompressionPipeline(ClassFanOut):
             records=[EcRecord.from_result(result) for result in results],
         )
         return PipelineRun(results=results, report=report)
+
+    def run_streaming(
+        self, spill: bool = True, spill_path: Optional[str] = None
+    ) -> PipelineReport:
+        """Compress every class, aggregating *incrementally*.
+
+        Per-class records merge into the report as they stream off the
+        pool (``merge_partial``); with ``spill`` (default) each record is
+        written to a JSONL spill file the moment it arrives, so the
+        driver holds O(1) records in memory regardless of network size.
+        Returns the report only -- callers needing the full
+        ``CompressionResult`` objects want :meth:`run`.
+        """
+        start = time.perf_counter()
+        artifact, classes = self.prepare()
+        report = PipelineReport(
+            network_name=self.network.name,
+            executor=self.executor,
+            workers=1 if self.executor == "serial" else self.workers,
+            batch_size=0,
+            num_batches=0,
+            num_classes=len(classes),
+            encode_seconds=artifact.encode_seconds,
+            total_seconds=0.0,
+            records=[],
+        )
+        if spill:
+            from repro.pipeline.stream import RecordSpill
+
+            report.attach_spill(RecordSpill(spill_path))
+
+        def on_result(index: int, result, seconds: float) -> None:
+            report.merge_partial(index, EcRecord.from_result(result))
+
+        self.execute(on_result=on_result, collect=False)
+        batches = self.last_batches
+        report.batch_size = len(batches[0]) if batches else 0
+        report.num_batches = len(batches)
+        report.total_seconds = time.perf_counter() - start
+        return report

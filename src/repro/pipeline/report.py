@@ -16,7 +16,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.config.transfer import VIRTUAL_DESTINATION
-from repro.reporting import ReportEnvelope, register_report
+from repro.reporting import ReportEnvelope, StreamingReport, register_report
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.abstraction.bonsai import CompressionResult
@@ -97,8 +97,14 @@ class EcRecord:
 
 @register_report
 @dataclass
-class PipelineReport(ReportEnvelope):
-    """Run-level aggregation of every per-class record."""
+class PipelineReport(StreamingReport, ReportEnvelope):
+    """Run-level aggregation of every per-class record.
+
+    Records arrive either all at once (``records=[...]``) or
+    incrementally through the :class:`~repro.reporting.StreamingReport`
+    path (``merge_partial`` plus an optional disk spill); aggregates read
+    through :meth:`iter_records` so both paths produce identical output.
+    """
 
     kind = "compression"
 
@@ -114,6 +120,9 @@ class PipelineReport(ReportEnvelope):
     #: Optional wall-clock of a serial reference run of the same workload
     #: (filled in by the scaling benchmark to compute the speedup).
     serial_seconds: Optional[float] = None
+    #: Peak resident set of the producing run in MiB, when measured
+    #: (``--memory-budget`` runs and the scale benchmark fill this).
+    peak_rss_mb: Optional[float] = None
     version: int = REPORT_VERSION
 
     # ------------------------------------------------------------------
@@ -121,26 +130,29 @@ class PipelineReport(ReportEnvelope):
     # ------------------------------------------------------------------
     @property
     def mean_abstract_nodes(self) -> float:
-        if not self.records:
+        count = self.record_count()
+        if not count:
             return 0.0
-        return sum(r.abstract_nodes for r in self.records) / len(self.records)
+        return sum(r.abstract_nodes for r in self.iter_records()) / count
 
     @property
     def mean_abstract_edges(self) -> float:
-        if not self.records:
+        count = self.record_count()
+        if not count:
             return 0.0
-        return sum(r.abstract_edges for r in self.records) / len(self.records)
+        return sum(r.abstract_edges for r in self.iter_records()) / count
 
     @property
     def mean_node_ratio(self) -> float:
-        if not self.records:
+        count = self.record_count()
+        if not count:
             return 0.0
-        return sum(r.node_ratio for r in self.records) / len(self.records)
+        return sum(r.node_ratio for r in self.iter_records()) / count
 
     @property
     def total_compression_seconds(self) -> float:
         """CPU seconds spent compressing, summed over all classes."""
-        return sum(r.compression_seconds for r in self.records)
+        return sum(r.compression_seconds for r in self.iter_records())
 
     @property
     def speedup(self) -> Optional[float]:
@@ -153,18 +165,25 @@ class PipelineReport(ReportEnvelope):
         """The canonical per-class outcomes, in prefix order."""
         return tuple(
             record.canonical()
-            for record in sorted(self.records, key=lambda r: r.prefix)
+            for record in sorted(self.iter_records(), key=lambda r: r.prefix)
         )
 
     def ok(self) -> bool:
         """The report-level gate: every enumerated class was compressed."""
-        return len(self.records) == self.num_classes
+        return self.record_count() == self.num_classes
 
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict:
+    @classmethod
+    def record_from_payload(cls, payload: Dict) -> EcRecord:
+        return EcRecord(**payload)
+
+    def to_dict(self, include_records: bool = True) -> Dict:
         data = asdict(self)
+        data.pop("records", None)
+        if include_records:
+            data["records"] = self.records_payload()
         data.update(self.envelope_dict())
         data["aggregate"] = {
             "mean_abstract_nodes": self.mean_abstract_nodes,
@@ -182,7 +201,9 @@ class PipelineReport(ReportEnvelope):
     def from_dict(cls, data: Dict) -> "PipelineReport":
         payload = cls.strip_envelope(data)
         payload.pop("aggregate", None)
-        records = [EcRecord(**record) for record in payload.pop("records", [])]
+        records = [
+            cls.record_from_payload(record) for record in payload.pop("records", [])
+        ]
         return cls(records=records, **payload)
 
     @classmethod

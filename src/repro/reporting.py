@@ -29,8 +29,10 @@ old files, old readers ignore the new keys.
 
 from __future__ import annotations
 
+import bisect
+import dataclasses
 import json
-from typing import Dict, List, Type
+from typing import Dict, Iterator, List, Type
 
 #: Cross-report envelope schema revision.
 REPORT_SCHEMA_VERSION = 2
@@ -88,6 +90,98 @@ class ReportEnvelope:
         for key in cls.ENVELOPE_KEYS:
             payload.pop(key, None)
         return payload
+
+
+class StreamingReport:
+    """Mixin: incremental record aggregation with optional disk spill.
+
+    The sweep engines historically collected every per-class record in
+    memory and built the report at the end; on fat-tree k=16 / wan-1000
+    the records *are* the peak RSS.  This mixin gives a report the
+    streaming path instead:
+
+    * :meth:`merge_partial` folds one ``(class index, record)`` in as it
+      arrives off the pool, keeping ``records`` ordered by class index
+      (completion order never leaks into the output -- streamed reports
+      stay bit-identical to serial ones);
+    * :meth:`attach_spill` redirects merged records to a
+      :class:`~repro.pipeline.stream.RecordSpill` JSONL file, so the
+      driver holds O(1) records; :meth:`iter_records` re-reads them one
+      at a time, in class order, whenever an aggregate or serialisation
+      needs them;
+    * :meth:`write_json` streams the report to disk record by record --
+      the output is plain JSON, loadable by the ordinary ``from_json``.
+
+    Aggregates in the report classes iterate :meth:`iter_records` (and
+    count via :meth:`record_count`) instead of touching ``self.records``
+    directly, so both paths share one implementation.  Subclasses
+    override :meth:`record_from_payload` to rebuild one record from its
+    JSON payload (the exact shape their ``to_dict`` emits per record).
+    """
+
+    def attach_spill(self, spill) -> None:
+        """Redirect subsequently merged records to ``spill``."""
+        self.__dict__["_spill"] = spill
+
+    @property
+    def spill(self):
+        """The attached :class:`RecordSpill`, or ``None``."""
+        return self.__dict__.get("_spill")
+
+    def merge_partial(self, index: int, record) -> None:
+        """Fold in one per-class record as it streams off the pool."""
+        spill = self.spill
+        if spill is not None:
+            spill.append(index, self.record_payload(record))
+            return
+        order = self.__dict__.setdefault("_merge_order", [])
+        position = bisect.bisect_left(order, index)
+        order.insert(position, index)
+        self.records.insert(position, record)
+
+    def iter_records(self) -> Iterator:
+        """Every record, in class order, one at a time (spilled records
+        are re-read from disk, not materialised together)."""
+        yield from self.records
+        spill = self.spill
+        if spill is not None:
+            for _, payload in spill:
+                yield self.record_from_payload(payload)
+
+    def record_count(self) -> int:
+        spill = self.spill
+        return len(self.records) + (len(spill) if spill is not None else 0)
+
+    def record_payload(self, record) -> Dict:
+        """One record's JSON payload (what ``to_dict`` emits per record)."""
+        return dataclasses.asdict(record)
+
+    @classmethod
+    def record_from_payload(cls, payload: Dict):
+        """Rebuild one record from :meth:`record_payload` output."""
+        raise NotImplementedError
+
+    def records_payload(self) -> List[Dict]:
+        return [self.record_payload(record) for record in self.iter_records()]
+
+    def write_json(self, path: str, indent: int = 2) -> None:
+        """Stream the report to ``path`` as ordinary JSON, one record in
+        memory at a time.  ``from_json`` / :func:`load_report` read it
+        back like any other report file."""
+        head = self.to_dict(include_records=False)
+        head.pop("records", None)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write('{\n"records": [\n')
+            first = True
+            for record in self.iter_records():
+                if not first:
+                    handle.write(",\n")
+                handle.write(json.dumps(self.record_payload(record), sort_keys=True))
+                first = False
+            handle.write("\n],\n" if not first else "],\n")
+            body = json.dumps(head, indent=indent, sort_keys=True)
+            handle.write(body[1:-1].strip())
+            handle.write("\n}\n")
 
 
 def register_report(cls: type) -> type:

@@ -16,10 +16,16 @@ from repro.store.artifact import (
     ClassBaseline,
 )
 from repro.store.fingerprint import canonical_form, network_fingerprint
-from repro.store.store import STORE_SCHEMA_VERSION, ArtifactStore, StoreError
+from repro.store.store import (
+    COSTS_SCHEMA_VERSION,
+    STORE_SCHEMA_VERSION,
+    ArtifactStore,
+    StoreError,
+)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
+    "COSTS_SCHEMA_VERSION",
     "STORE_SCHEMA_VERSION",
     "ArtifactStore",
     "BaselineArtifact",

@@ -23,6 +23,7 @@ from repro.analysis.dataplane import ForwardingTable, forwarding_table_from_solu
 from repro.config.network import Network
 from repro.config.transfer import build_srp_from_network
 from repro.delta.revalidate import class_signature
+from repro.pipeline.core import ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
 from repro.pipeline.report import EcRecord
 from repro.srp.solver import TransferCache, solve
@@ -57,6 +58,54 @@ class ClassBaseline:
     compress_seconds: float = 0.0
 
 
+def baseline_class_task(bonsai, equivalence_class, options: dict) -> ClassBaseline:
+    """The ``"baseline"`` task: solve (and optionally compress) one class.
+
+    This is the per-class body of :meth:`BaselineArtifact.build`, hoisted
+    into a registered task so artifact bakes ride the same fan-out (and
+    cost-aware shard scheduler) as every sweep pillar.
+    """
+    network = bonsai.network
+    prefix = equivalence_class.prefix
+    origins = set(equivalence_class.origins)
+    solve_start = time.perf_counter()
+    srp = build_srp_from_network(
+        network,
+        prefix,
+        origins,
+        compiled=bonsai.compile_for(prefix),
+        include_syntactic_keys=False,
+    )
+    cache = TransferCache()
+    solution = solve(srp, transfer_cache=cache)
+    table = forwarding_table_from_solution(network, solution, equivalence_class)
+    solve_seconds = time.perf_counter() - solve_start
+
+    compression = None
+    partition: List[List[str]] = []
+    compress_seconds = 0.0
+    if options.get("compress", True):
+        compression = bonsai.compress(equivalence_class, build_network=True)
+        compress_seconds = compression.compression_seconds
+        partition = EcRecord.from_result(compression).groups
+
+    return ClassBaseline(
+        prefix=str(prefix),
+        origins=sorted(str(origin) for origin in origins),
+        labeling=dict(solution.labeling),
+        transfer_memo=dict(cache),
+        signature=class_signature(network, prefix, equivalence_class.origins),
+        partition=partition,
+        compression=compression,
+        table=table,
+        solve_seconds=solve_seconds,
+        compress_seconds=compress_seconds,
+    )
+
+
+register_class_task("baseline", "repro.store.artifact:baseline_class_task")
+
+
 @dataclass
 class BaselineArtifact:
     """A warm baseline for one network, ready to persist or serve."""
@@ -83,6 +132,10 @@ class BaselineArtifact:
         use_bdds: bool = True,
         compress: bool = True,
         limit: Optional[int] = None,
+        executor: str = "serial",
+        workers: int = 4,
+        scheduler: str = "stealing",
+        cost_store=None,
     ) -> "BaselineArtifact":
         """Pay the full baseline cost once: encode, solve and (optionally)
         compress every destination class.
@@ -90,7 +143,10 @@ class BaselineArtifact:
         ``artifact`` reuses an existing :class:`EncodedNetwork`;
         ``compress=False`` skips the per-class compressions (the delta
         revalidator then recompresses lazily, as without a baseline);
-        ``limit`` bounds the classes covered (smoke runs).
+        ``limit`` bounds the classes covered (smoke runs).  The per-class
+        work rides the ``"baseline"`` fan-out task, so ``executor`` /
+        ``workers`` parallelise big bakes through the same cost-aware
+        scheduler as the sweeps (default: serial, as before).
         """
         start = time.perf_counter()
         if artifact is None:
@@ -98,46 +154,21 @@ class BaselineArtifact:
                 raise ValueError("either a network or an EncodedNetwork is required")
             artifact = EncodedNetwork.build(network, use_bdds=use_bdds)
         network = artifact.network
-        bonsai = artifact.make_bonsai()
-        classes = artifact.classes if limit is None else artifact.classes[:limit]
 
-        baselines: Dict[str, ClassBaseline] = {}
-        for equivalence_class in classes:
-            prefix = equivalence_class.prefix
-            origins = set(equivalence_class.origins)
-            solve_start = time.perf_counter()
-            srp = build_srp_from_network(
-                network,
-                prefix,
-                origins,
-                compiled=bonsai.compile_for(prefix),
-                include_syntactic_keys=False,
-            )
-            cache = TransferCache()
-            solution = solve(srp, transfer_cache=cache)
-            table = forwarding_table_from_solution(network, solution, equivalence_class)
-            solve_seconds = time.perf_counter() - solve_start
-
-            compression = None
-            partition: List[List[str]] = []
-            compress_seconds = 0.0
-            if compress:
-                compression = bonsai.compress(equivalence_class, build_network=True)
-                compress_seconds = compression.compression_seconds
-                partition = EcRecord.from_result(compression).groups
-
-            baselines[str(prefix)] = ClassBaseline(
-                prefix=str(prefix),
-                origins=sorted(str(origin) for origin in origins),
-                labeling=dict(solution.labeling),
-                transfer_memo=dict(cache),
-                signature=class_signature(network, prefix, equivalence_class.origins),
-                partition=partition,
-                compression=compression,
-                table=table,
-                solve_seconds=solve_seconds,
-                compress_seconds=compress_seconds,
-            )
+        fanout = ClassFanOut(
+            artifact=artifact,
+            task="baseline",
+            task_options={"compress": compress},
+            executor=executor,
+            workers=workers,
+            limit=limit,
+            use_bdds=artifact.use_bdds,
+            scheduler=scheduler,
+            cost_store=cost_store,
+        )
+        baselines: Dict[str, ClassBaseline] = {
+            baseline.prefix: baseline for baseline in fanout.execute()
+        }
 
         return cls(
             fingerprint=network_fingerprint(network),
