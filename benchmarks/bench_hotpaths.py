@@ -27,6 +27,11 @@ Stages
   re-solve vs the scratch oracle); the report additionally records
   ``failure_incremental_speedup``, the scratch/incremental wall-clock
   ratio on the fat-tree sweep.
+* ``obs_overhead``   -- the ``srp_solve`` workload timed twice, metrics
+  registry enabled (the default) vs disabled; the report records
+  ``obs_overhead_ratio`` (enabled/disabled wall clock), which
+  ``--max-obs-overhead`` gates in CI -- instrumentation must stay
+  within a few percent of the uninstrumented hot path;
 * ``delta_sweep``    -- single-change :class:`DeltaSweep` runs (a
   compression-invariant change plus a route-map tightening on a
   fat-tree); the report additionally records
@@ -279,6 +284,45 @@ def stage_failure_sweep(failure_workloads):
     return time.perf_counter() - start, speedup
 
 
+def stage_obs_overhead(workloads, repeat: int):
+    """Metrics-registry overhead on the ``srp_solve`` hot path.
+
+    Times the same prepared solve workload with the registry enabled
+    (the instrumented default; tracing stays off) and with it disabled
+    (every lookup returns the shared null instrument).  Each arm keeps
+    its own minimum over ``repeat`` runs, so noise in one arm cannot
+    manufacture (or hide) overhead.  Returns ``(enabled_best,
+    disabled_best)``.
+    """
+    from repro.obs import metrics as obs_metrics
+
+    prepared = []
+    for family, size in workloads:
+        network = build_topology(family, size)
+        _, srps = _classes_and_srps(network)
+        prepared.append(srps)
+
+    def timed() -> float:
+        start = time.perf_counter()
+        for srps in prepared:
+            for srp in srps:
+                srp_solver.solve(srp)
+        return time.perf_counter() - start
+
+    was_enabled = obs_metrics.enabled()
+    try:
+        obs_metrics.enable()
+        enabled_best = min(timed() for _ in range(repeat))
+        obs_metrics.disable()
+        disabled_best = min(timed() for _ in range(repeat))
+    finally:
+        if was_enabled:
+            obs_metrics.enable()
+        else:
+            obs_metrics.disable()
+    return enabled_best, disabled_best
+
+
 def _delta_scripts(network):
     """The two single-change scripts a delta workload runs."""
     import random
@@ -523,6 +567,7 @@ STAGES = (
     "pipeline",
     "failure_sweep",
     "delta_sweep",
+    "obs_overhead",
 )
 
 
@@ -563,7 +608,11 @@ def run_benchmark(quick: bool, repeat: int):
     delta_runs = [stage_delta_sweep(delta_workloads) for _ in range(repeat)]
     stages["delta_sweep"] = min(seconds for seconds, _ in delta_runs)
     delta_speedups = [speedup for _, speedup in delta_runs if speedup]
+    obs_enabled, obs_disabled = stage_obs_overhead(workloads, repeat)
+    stages["obs_overhead"] = obs_enabled
     extras = {
+        "obs_disabled_seconds": obs_disabled,
+        "obs_overhead_ratio": obs_enabled / obs_disabled if obs_disabled else None,
         # min(), like the timing stages: scheduler noise in a scratch arm
         # must not be able to manufacture the headline speedup.
         "failure_incremental_speedup": min(speedups) if speedups else None,
@@ -634,6 +683,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="fail unless the array BDD backend is at least this many times "
         "faster than the dict backend on the bdd_ops workload",
     )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        help="fail if the metrics-instrumented srp_solve hot path is more "
+        "than this fraction slower than the metrics-disabled arm "
+        "(e.g. 0.03 = 3%%)",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error("--repeat must be >= 1")
@@ -659,7 +716,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"({BACKEND_BDD_VARS} vars): {bdd_speedup:.2f}x"
         )
 
+    obs_ratio = extras.get("obs_overhead_ratio")
+    if obs_ratio is not None:
+        print(
+            f"  metrics instrumentation overhead on srp_solve: "
+            f"{(obs_ratio - 1.0) * 100.0:+.1f}%"
+        )
+
     status = 0
+    if args.max_obs_overhead is not None:
+        enabled_s = stages["obs_overhead"]
+        disabled_s = extras["obs_disabled_seconds"]
+        # The same absolute slack as the baseline gate: quick-mode arms
+        # are tens of milliseconds, where scheduler noise alone exceeds
+        # any relative threshold.
+        limit = disabled_s * (1.0 + args.max_obs_overhead) + ABSOLUTE_SLACK_SECONDS
+        if enabled_s > limit:
+            status = 1
+            print(
+                f"OBS OVERHEAD TOO HIGH: instrumented srp_solve {enabled_s:.3f}s "
+                f"vs disabled {disabled_s:.3f}s "
+                f"({(enabled_s / disabled_s - 1.0) * 100.0:+.1f}%, limit "
+                f"{args.max_obs_overhead:.0%} + {ABSOLUTE_SLACK_SECONDS:.2f}s slack)",
+                file=sys.stderr,
+            )
     if args.min_bdd_speedup is not None and (
         bdd_speedup is None or bdd_speedup < args.min_bdd_speedup
     ):

@@ -24,6 +24,7 @@ from repro.abstraction.ec import EquivalenceClass, routable_equivalence_classes
 from repro.abstraction.mapping import NetworkAbstraction
 from repro.abstraction.refinement import RefinementResult, compute_abstraction
 from repro.bdd.policy import PolicyBddEncoder
+from repro.obs import metrics as _metrics
 from repro.config.device import BgpNeighborConfig, DeviceConfig, OspfLinkConfig, StaticRouteConfig
 from repro.config.network import Network
 from repro.config.prefix import Prefix
@@ -298,8 +299,10 @@ class Bonsai:
             cached = self._refinement_cache.get(signature)
             if cached is not None:
                 self._refinement_hits += 1
+                _metrics.counter("abstraction.refinement_cache.hits").inc()
                 return cached
             self._refinement_misses += 1
+            _metrics.counter("abstraction.refinement_cache.misses").inc()
         refinement = compute_abstraction(srp, policy_keys=keys)
         if signature is not None:
             # Clear-on-overflow (the BddManager cache_limit precedent):
@@ -307,6 +310,7 @@ class Bonsai:
             # live for thousands of classes.
             if len(self._refinement_cache) >= self.REFINEMENT_CACHE_LIMIT:
                 self._refinement_cache.clear()
+                _metrics.counter("abstraction.refinement_cache.overflows").inc()
             self._refinement_cache[signature] = refinement
         return refinement
 

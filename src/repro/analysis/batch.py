@@ -54,6 +54,7 @@ from repro.analysis.properties import (
 )
 from repro.analysis.verifier import VerificationTimeout
 from repro.config.network import Network
+from repro.obs import trace
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
 from repro.reporting import ReportEnvelope, register_report
@@ -442,190 +443,191 @@ def verify_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict
     after the budget into ``timed_out`` marker records instead of silently
     dropping them.
     """
-    suite = PropertySuite.from_options(options)
-    deadline = options.get("deadline")
-    prefix = equivalence_class.prefix
-    origins = sorted(str(origin) for origin in equivalence_class.origins)
+    with trace.span("verify", cls=str(equivalence_class.prefix)):
+        suite = PropertySuite.from_options(options)
+        deadline = options.get("deadline")
+        prefix = equivalence_class.prefix
+        origins = sorted(str(origin) for origin in equivalence_class.origins)
 
-    if deadline is not None and time.time() >= deadline:
+        if deadline is not None and time.time() >= deadline:
+            return ClassVerificationRecord(
+                prefix=str(prefix),
+                origins=origins,
+                concrete_nodes=0,
+                abstract_nodes=0,
+                concrete_seconds=0.0,
+                abstract_seconds=0.0,
+                compression_seconds=0.0,
+                timed_out=True,
+            )
+
+        network: Network = bonsai.network
+        nodes = sorted(network.graph.nodes, key=str)
+        waypoints = _waypoints_for(suite, equivalence_class)
+        path_bound = (
+            suite.path_bound if suite.path_bound is not None else network.graph.num_nodes()
+        )
+        specs = suite.specs()
+
+        # -- concrete side ---------------------------------------------------
+        concrete_start = time.perf_counter()
+        concrete_table = compute_forwarding_table(
+            network,
+            equivalence_class,
+            compiled=bonsai.compile_for(equivalence_class.prefix),
+        )
+        concrete_context = PropertyContext(
+            table=concrete_table, waypoints=waypoints, path_bound=path_bound
+        )
+        concrete_results: Dict[str, Dict[str, PropertyResult]] = {
+            spec.name: {
+                str(node): spec.evaluate(concrete_context, node) for node in nodes
+            }
+            for spec in specs
+        }
+        concrete_seconds = time.perf_counter() - concrete_start
+
+        # -- abstract side (compression included in the timing) --------------
+        abstract_start = time.perf_counter()
+        result = bonsai.compress(equivalence_class, build_network=True)
+        abstraction = result.abstraction
+        abstract_network = result.abstract_network
+        abstract_ec = next(
+            candidate
+            for candidate in routable_equivalence_classes(abstract_network)
+            if candidate.prefix.overlaps(prefix)
+        )
+        abstract_table = compute_forwarding_table(abstract_network, abstract_ec)
+        abstract_context = PropertyContext(
+            table=abstract_table,
+            waypoints=_abstract_waypoints(abstraction, waypoints),
+            path_bound=path_bound,
+        )
+
+        # Explicit waypoint sets are only expressible on the abstract network
+        # when they are a union of abstraction groups (f⁻¹(f(W)) == W); the
+        # class's own origins always are.  A non-closed set still gets both
+        # verdicts, but they are flagged as non-comparable rather than counted
+        # as a soundness violation.
+        waypoints_closed = True
+        if suite.waypoints is not None:
+            closure = {
+                str(member)
+                for waypoint in waypoints
+                if waypoint in abstraction.node_map
+                for member in abstraction.concrete_nodes(abstraction.f(waypoint))
+            }
+            waypoints_closed = closure <= set(waypoints)
+
+        abstract_cache: Dict[Tuple[str, str], PropertyResult] = {}
+
+        def abstract_result(spec: PropertySpec, abstract_node: str) -> PropertyResult:
+            key = (spec.name, abstract_node)
+            if key not in abstract_cache:
+                abstract_cache[key] = spec.evaluate(abstract_context, abstract_node)
+            return abstract_cache[key]
+
+        # Evaluate every property on every abstract node *inside* the timed
+        # window, so abstract_seconds measures compression + abstract
+        # verification only; the differential comparison below (which scales
+        # with the concrete node count) runs against this cache, untimed --
+        # otherwise the reported speedup would measure harness overhead.
+        for spec in specs:
+            for abstract_node in sorted(abstract_network.graph.nodes, key=str):
+                abstract_result(spec, abstract_node)
+        abstract_seconds = time.perf_counter() - abstract_start
+
+        verdicts: List[PropertyVerdict] = []
+        for spec in specs:
+            comparable = (not spec.uses_waypoints) or waypoints_closed
+            note = (
+                ""
+                if comparable
+                else "waypoint set is not a union of abstraction groups; "
+                "abstract verdict is informational only"
+            )
+            concrete_failing: List[str] = []
+            abstract_failing: List[str] = []
+            mismatched: List[str] = []
+            counterexamples: List[Dict] = []
+            for node in nodes:
+                name = str(node)
+                concrete = concrete_results[spec.name][name]
+                copies = abstraction.copies_of(abstraction.f(node))
+                copy_results = [abstract_result(spec, copy) for copy in copies]
+                if spec.lift == "any":
+                    lifted_holds = any(r.holds for r in copy_results)
+                else:
+                    lifted_holds = all(r.holds for r in copy_results)
+                if not concrete.holds:
+                    concrete_failing.append(name)
+                if not lifted_holds:
+                    abstract_failing.append(name)
+                if comparable and concrete.holds != lifted_holds:
+                    mismatched.append(name)
+                if (not concrete.holds or not lifted_holds) and (
+                    len(counterexamples) < MAX_COUNTEREXAMPLES
+                ):
+                    abstract_witness = next(
+                        (
+                            r.counterexample
+                            for r in copy_results
+                            if not r.holds and r.counterexample is not None
+                        ),
+                        None,
+                    )
+                    counterexamples.append(
+                        {
+                            "node": name,
+                            "concrete": (
+                                None
+                                if concrete.counterexample is None
+                                else concrete.counterexample.to_dict()
+                            ),
+                            "abstract": (
+                                None
+                                if abstract_witness is None
+                                else lift_counterexample(abstraction, abstract_witness)
+                            ),
+                        }
+                    )
+            # A path-quantified verdict built from a truncated enumeration is
+            # not exhaustive: the concrete network may hide a violation (or a
+            # mismatch artefact) past the cap, so flag rather than gate on it.
+            # The check runs after this spec's evaluations, so both tables'
+            # truncation sets are populated for it.
+            if spec.path_quantified and (
+                concrete_table.truncated_sources or abstract_table.truncated_sources
+            ):
+                if comparable:
+                    comparable = False
+                    mismatched = []
+                note = (note + "; " if note else "") + (
+                    "path enumeration hit the max_paths cap; verdict is not exhaustive"
+                )
+            verdicts.append(
+                PropertyVerdict(
+                    property=spec.name,
+                    nodes_checked=len(nodes),
+                    concrete_failing=concrete_failing,
+                    abstract_failing=abstract_failing,
+                    mismatched=mismatched,
+                    counterexamples=counterexamples,
+                    comparable=comparable,
+                    note=note,
+                )
+            )
+
         return ClassVerificationRecord(
             prefix=str(prefix),
             origins=origins,
-            concrete_nodes=0,
-            abstract_nodes=0,
-            concrete_seconds=0.0,
-            abstract_seconds=0.0,
-            compression_seconds=0.0,
-            timed_out=True,
+            concrete_nodes=network.graph.num_nodes(),
+            abstract_nodes=result.abstract_nodes,
+            concrete_seconds=concrete_seconds,
+            abstract_seconds=abstract_seconds,
+            compression_seconds=result.compression_seconds,
+            verdicts=verdicts,
         )
-
-    network: Network = bonsai.network
-    nodes = sorted(network.graph.nodes, key=str)
-    waypoints = _waypoints_for(suite, equivalence_class)
-    path_bound = (
-        suite.path_bound if suite.path_bound is not None else network.graph.num_nodes()
-    )
-    specs = suite.specs()
-
-    # -- concrete side ---------------------------------------------------
-    concrete_start = time.perf_counter()
-    concrete_table = compute_forwarding_table(
-        network,
-        equivalence_class,
-        compiled=bonsai.compile_for(equivalence_class.prefix),
-    )
-    concrete_context = PropertyContext(
-        table=concrete_table, waypoints=waypoints, path_bound=path_bound
-    )
-    concrete_results: Dict[str, Dict[str, PropertyResult]] = {
-        spec.name: {
-            str(node): spec.evaluate(concrete_context, node) for node in nodes
-        }
-        for spec in specs
-    }
-    concrete_seconds = time.perf_counter() - concrete_start
-
-    # -- abstract side (compression included in the timing) --------------
-    abstract_start = time.perf_counter()
-    result = bonsai.compress(equivalence_class, build_network=True)
-    abstraction = result.abstraction
-    abstract_network = result.abstract_network
-    abstract_ec = next(
-        candidate
-        for candidate in routable_equivalence_classes(abstract_network)
-        if candidate.prefix.overlaps(prefix)
-    )
-    abstract_table = compute_forwarding_table(abstract_network, abstract_ec)
-    abstract_context = PropertyContext(
-        table=abstract_table,
-        waypoints=_abstract_waypoints(abstraction, waypoints),
-        path_bound=path_bound,
-    )
-
-    # Explicit waypoint sets are only expressible on the abstract network
-    # when they are a union of abstraction groups (f⁻¹(f(W)) == W); the
-    # class's own origins always are.  A non-closed set still gets both
-    # verdicts, but they are flagged as non-comparable rather than counted
-    # as a soundness violation.
-    waypoints_closed = True
-    if suite.waypoints is not None:
-        closure = {
-            str(member)
-            for waypoint in waypoints
-            if waypoint in abstraction.node_map
-            for member in abstraction.concrete_nodes(abstraction.f(waypoint))
-        }
-        waypoints_closed = closure <= set(waypoints)
-
-    abstract_cache: Dict[Tuple[str, str], PropertyResult] = {}
-
-    def abstract_result(spec: PropertySpec, abstract_node: str) -> PropertyResult:
-        key = (spec.name, abstract_node)
-        if key not in abstract_cache:
-            abstract_cache[key] = spec.evaluate(abstract_context, abstract_node)
-        return abstract_cache[key]
-
-    # Evaluate every property on every abstract node *inside* the timed
-    # window, so abstract_seconds measures compression + abstract
-    # verification only; the differential comparison below (which scales
-    # with the concrete node count) runs against this cache, untimed --
-    # otherwise the reported speedup would measure harness overhead.
-    for spec in specs:
-        for abstract_node in sorted(abstract_network.graph.nodes, key=str):
-            abstract_result(spec, abstract_node)
-    abstract_seconds = time.perf_counter() - abstract_start
-
-    verdicts: List[PropertyVerdict] = []
-    for spec in specs:
-        comparable = (not spec.uses_waypoints) or waypoints_closed
-        note = (
-            ""
-            if comparable
-            else "waypoint set is not a union of abstraction groups; "
-            "abstract verdict is informational only"
-        )
-        concrete_failing: List[str] = []
-        abstract_failing: List[str] = []
-        mismatched: List[str] = []
-        counterexamples: List[Dict] = []
-        for node in nodes:
-            name = str(node)
-            concrete = concrete_results[spec.name][name]
-            copies = abstraction.copies_of(abstraction.f(node))
-            copy_results = [abstract_result(spec, copy) for copy in copies]
-            if spec.lift == "any":
-                lifted_holds = any(r.holds for r in copy_results)
-            else:
-                lifted_holds = all(r.holds for r in copy_results)
-            if not concrete.holds:
-                concrete_failing.append(name)
-            if not lifted_holds:
-                abstract_failing.append(name)
-            if comparable and concrete.holds != lifted_holds:
-                mismatched.append(name)
-            if (not concrete.holds or not lifted_holds) and (
-                len(counterexamples) < MAX_COUNTEREXAMPLES
-            ):
-                abstract_witness = next(
-                    (
-                        r.counterexample
-                        for r in copy_results
-                        if not r.holds and r.counterexample is not None
-                    ),
-                    None,
-                )
-                counterexamples.append(
-                    {
-                        "node": name,
-                        "concrete": (
-                            None
-                            if concrete.counterexample is None
-                            else concrete.counterexample.to_dict()
-                        ),
-                        "abstract": (
-                            None
-                            if abstract_witness is None
-                            else lift_counterexample(abstraction, abstract_witness)
-                        ),
-                    }
-                )
-        # A path-quantified verdict built from a truncated enumeration is
-        # not exhaustive: the concrete network may hide a violation (or a
-        # mismatch artefact) past the cap, so flag rather than gate on it.
-        # The check runs after this spec's evaluations, so both tables'
-        # truncation sets are populated for it.
-        if spec.path_quantified and (
-            concrete_table.truncated_sources or abstract_table.truncated_sources
-        ):
-            if comparable:
-                comparable = False
-                mismatched = []
-            note = (note + "; " if note else "") + (
-                "path enumeration hit the max_paths cap; verdict is not exhaustive"
-            )
-        verdicts.append(
-            PropertyVerdict(
-                property=spec.name,
-                nodes_checked=len(nodes),
-                concrete_failing=concrete_failing,
-                abstract_failing=abstract_failing,
-                mismatched=mismatched,
-                counterexamples=counterexamples,
-                comparable=comparable,
-                note=note,
-            )
-        )
-
-    return ClassVerificationRecord(
-        prefix=str(prefix),
-        origins=origins,
-        concrete_nodes=network.graph.num_nodes(),
-        abstract_nodes=result.abstract_nodes,
-        concrete_seconds=concrete_seconds,
-        abstract_seconds=abstract_seconds,
-        compression_seconds=result.compression_seconds,
-        verdicts=verdicts,
-    )
 
 
 register_class_task("verify", "repro.analysis.batch:verify_class_task")
@@ -693,6 +695,9 @@ class BatchVerifier:
 
     def run(self, raise_on_timeout: bool = True) -> VerificationReport:
         """Verify every class and aggregate the differential verdicts."""
+        from repro import obs
+
+        counters_before = obs.snapshot_run()
         start = time.perf_counter()
         options = self.suite.to_options()
         if self.timeout_seconds is not None:
@@ -718,6 +723,7 @@ class BatchVerifier:
             records=records,
             timed_out=any(record.timed_out for record in records),
         )
+        obs.finish_run(report, counters_before)
         if report.timed_out and raise_on_timeout:
             skipped = sum(1 for record in records if record.timed_out)
             raise VerificationTimeout(

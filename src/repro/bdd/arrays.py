@@ -45,6 +45,7 @@ from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.bdd.manager import FALSE, TRUE, BddError
+from repro.obs import metrics as _metrics
 
 #: Sentinel variable index for the terminal node (sorts after all vars).
 _TERMINAL_VAR = sys.maxsize
@@ -356,6 +357,7 @@ class ArrayBddManager:
                     # (the second clause keeps the fixed-size table's load
                     # bounded when the limit exceeds its capacity).
                     self._cache_clear()
+                    _metrics.counter("bdd.ite_cache.overflows").inc()
                     cf, cg, ch, cr = self._cf, self._cg, self._ch, self._cr
                     cmask, csize = self._cmask, self._csize
                 elif self._cfill * 3 > csize * 2:

@@ -23,6 +23,8 @@ from __future__ import annotations
 import sys
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 #: Terminal node ids.
 FALSE = 0
 TRUE = 1
@@ -195,6 +197,7 @@ class BddManager:
                         unique[node_key] = result
                 if cache_limit is not None and len(cache) >= cache_limit:
                     cache.clear()
+                    _metrics.counter("bdd.ite_cache.overflows").inc()
                 cache[g] = result
                 push_value(result)
                 continue

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.bdd.backend import make_manager
+from repro.obs import metrics as _metrics
 from repro.bdd.manager import FALSE, TRUE
 from repro.config.device import DeviceConfig
 from repro.config.network import Network
@@ -464,6 +465,9 @@ class PolicyBddEncoder:
         assignment = self.specialization_assignment(destination)
         assignment_key = tuple(sorted(assignment.items()))
         keys: Dict[Edge, Hashable] = {}
+        # The per-edge loop keeps its fast local cache counters; their
+        # delta is absorbed into the obs registry once per destination.
+        hits0, misses0 = self._specialize_hits, self._specialize_misses
         for edge, info in compiled.items():
             bdd = bdds[edge]
             specialized = self._restrict_cached(bdd, assignment, assignment_key)
@@ -473,6 +477,12 @@ class PolicyBddEncoder:
                 info.has_ospf,
                 info.ospf_cost if info.has_ospf else None,
             )
+        _metrics.absorb_cache_info(
+            "bdd.specialize_cache",
+            {"hits": hits0, "misses": misses0},
+            {"hits": self._specialize_hits, "misses": self._specialize_misses},
+            keys=("hits", "misses"),
+        )
         return keys
 
     # ------------------------------------------------------------------

@@ -58,6 +58,7 @@ from repro.delta.changeset import ChangeSet
 from repro.delta.incremental import delta_resolve, diff_network_edges
 from repro.delta.revalidate import class_signature, revalidate_class
 from repro.failures.incremental import BaselineIndex, divergent_nodes
+from repro.obs import trace
 from repro.reporting import ReportEnvelope, StreamingReport, register_report
 from repro.failures.soundness import lifted_abstract_verdicts
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
@@ -681,194 +682,199 @@ def delta_class_task(bonsai, equivalence_class: EquivalenceClass, options: dict)
 
     for step_index in range(range_start, range_end):
         changeset, changed_network = state.steps[step_index]
-        outcome = ChangeOutcome(
-            step=changeset.name,
-            changes=[change.describe() for change in changeset.changes],
-        )
-        changed_ec, reshaped = _class_on(changed_network, prefix)
-        outcome.partition_changed = reshaped
-        # The delta universe is the *changed* network's nodes: devices a
-        # change removed drop out, devices it added are included (an
-        # added device failing a property is newly failing -- absent
-        # baseline nodes default to passing in verdict_delta).
-        surviving = sorted(str(n) for n in changed_network.graph.nodes)
-        # Default waypoints follow the *changed* class's origins (the batch
-        # verifier convention: origin sets are unions of abstraction
-        # groups by construction, arbitrary sets need not be); explicit
-        # suite waypoints are kept, restricted to surviving devices.
-        if suite.waypoints is None and changed_ec is not None:
-            step_waypoints = frozenset(str(o) for o in changed_ec.origins)
-        else:
-            step_waypoints = frozenset(
-                w for w in waypoints if changed_network.graph.has_node(w)
+        # One span per *in-range* step -- the chunk fast-forward replay
+        # above is deliberately unspanned, so a step-range chunk's trace
+        # holds exactly its own steps and the chunk-merged tree matches
+        # the chained serial run span for span.
+        with trace.span("step", name=changeset.name):
+            outcome = ChangeOutcome(
+                step=changeset.name,
+                changes=[change.describe() for change in changeset.changes],
             )
+            changed_ec, reshaped = _class_on(changed_network, prefix)
+            outcome.partition_changed = reshaped
+            # The delta universe is the *changed* network's nodes: devices a
+            # change removed drop out, devices it added are included (an
+            # added device failing a property is newly failing -- absent
+            # baseline nodes default to passing in verdict_delta).
+            surviving = sorted(str(n) for n in changed_network.graph.nodes)
+            # Default waypoints follow the *changed* class's origins (the batch
+            # verifier convention: origin sets are unions of abstraction
+            # groups by construction, arbitrary sets need not be); explicit
+            # suite waypoints are kept, restricted to surviving devices.
+            if suite.waypoints is None and changed_ec is not None:
+                step_waypoints = frozenset(str(o) for o in changed_ec.origins)
+            else:
+                step_waypoints = frozenset(
+                    w for w in waypoints if changed_network.graph.has_node(w)
+                )
 
-        if changed_ec is None:
-            # Nothing originates the destination any more: no control
-            # plane to solve, every property trivially fails everywhere.
-            outcome.unroutable = True
-            empty = ForwardingTable(
-                destination=prefix,
-                origins=set(),
-                next_hops={node: set() for node in changed_network.graph.nodes},
+            if changed_ec is None:
+                # Nothing originates the destination any more: no control
+                # plane to solve, every property trivially fails everywhere.
+                outcome.unroutable = True
+                empty = ForwardingTable(
+                    destination=prefix,
+                    origins=set(),
+                    next_hops={node: set() for node in changed_network.graph.nodes},
+                )
+                verdicts = evaluate_suite(
+                    specs, empty, changed_network.graph.nodes, step_waypoints, path_bound
+                )
+                outcome.newly_failing, outcome.newly_passing = verdict_delta(
+                    baseline_verdicts, verdicts, surviving
+                )
+                record.steps.append(outcome)
+                prev_step = step_index
+                prev_network = changed_network
+                prev_solution = None
+                prev_keys = None
+                prev_index = None
+                continue
+
+            sim_prefix = changed_ec.prefix
+            sim_origins = set(changed_ec.origins)
+            sim_origin_names = frozenset(str(origin) for origin in sim_origins)
+            can_seed = (
+                prev_solution is not None
+                and sim_prefix == prev_prefix
+                and sim_origin_names == prev_origins
             )
+            outcome.origins_changed = not can_seed
+
+            def build_changed_srp():
+                # Both oracle arms (and the policy-key computation) share one
+                # specialized compilation per (step, class) via the script
+                # state; compiling is destination-work a real rebuild pays
+                # once, not per arm.
+                return build_srp_from_network(
+                    changed_network,
+                    sim_prefix,
+                    set(sim_origins),
+                    compiled=state.compiled_for(step_index, network, sim_prefix),
+                    include_syntactic_keys=False,
+                )
+
+            scratch_solution = None
+            if oracle or not can_seed:
+                scratch_srp = build_changed_srp()
+                scratch_start = time.perf_counter()
+                scratch_solution = solve(scratch_srp, max_rounds=max_rounds)
+                outcome.scratch_seconds = time.perf_counter() - scratch_start
+
+            new_keys = state.policy_keys(step_index, network, sim_prefix)
+            if not can_seed:
+                solution = scratch_solution
+            else:
+                if prev_keys is None:
+                    prev_keys = state.policy_keys(prev_step, network, sim_prefix)
+                diff = diff_network_edges(
+                    prev_network,
+                    changed_network,
+                    sim_prefix,
+                    old_keys=prev_keys,
+                    new_keys=new_keys,
+                )
+                outcome.edges_removed = len(diff.removed)
+                outcome.edges_added = len(diff.added)
+                outcome.edges_changed = len(diff.changed)
+                result = delta_resolve(
+                    build_changed_srp(),
+                    prev_solution,
+                    diff,
+                    index=prev_index,
+                    max_rounds=max_rounds,
+                )
+                solution = result.solution
+                outcome.incremental_used = result.incremental_used
+                outcome.incremental_seconds = result.seconds
+                outcome.tainted = len(result.tainted)
+                outcome.dirty = result.dirty_count
+                if scratch_solution is not None:
+                    matches = solution.labeling == scratch_solution.labeling
+                    outcome.incremental_matches_scratch = matches
+                    if not matches:
+                        outcome.divergent = [
+                            str(n) for n in divergent_nodes(solution, scratch_solution)
+                        ]
+
+            table = forwarding_table_from_solution(changed_network, solution, changed_ec)
             verdicts = evaluate_suite(
-                specs, empty, changed_network.graph.nodes, step_waypoints, path_bound
+                specs, table, changed_network.graph.nodes, step_waypoints, path_bound
             )
             outcome.newly_failing, outcome.newly_passing = verdict_delta(
                 baseline_verdicts, verdicts, surviving
             )
+            if outcome.newly_failing:
+                context = PropertyContext(
+                    table=table, waypoints=step_waypoints, path_bound=path_bound
+                )
+                for spec in specs:
+                    broken = outcome.newly_failing.get(spec.name)
+                    if broken:
+                        witness = failure_witness(spec, context, broken[0])
+                        if witness is not None:
+                            outcome.witnesses[spec.name] = witness
+
+            if revalidate_on and compression is not None:
+                factory = _step_bonsai(
+                    state, step_index, changed_network, bonsai.use_bdds
+                )
+                reval = revalidate_class(
+                    compression,
+                    baseline_signature,
+                    changed_network,
+                    changed_ec,
+                    verdicts,
+                    specs,
+                    step_waypoints,
+                    path_bound,
+                    recompress_bonsai=factory,
+                    changed_keys=new_keys,
+                    baseline_lifted=baseline_lifted,
+                )
+                if reval.reused and baseline_lifted is None:
+                    baseline_lifted = reval.lifted
+                outcome.reused = reval.reused
+                outcome.recompressed = reval.recompressed
+                outcome.revalidate_seconds = reval.seconds
+                outcome.recompress_seconds = reval.recompress_seconds
+                outcome.revalidation = reval.to_dict()
+                if reval.recompressed:
+                    outcome.rebuild_compress_seconds = reval.recompress_seconds
+                elif rebuild_oracle:
+                    # The abstraction was reused, so the incremental arm paid
+                    # no compression.  Time what a full rebuild would have
+                    # paid for the same answer -- a fresh per-class
+                    # compression of the changed network plus the abstract
+                    # re-verification on it (mirroring what the dirty path's
+                    # ``recompress_seconds`` measures) -- for the report's
+                    # speedup denominator.
+                    rebuild_start = time.perf_counter()
+                    rebuilt = factory().compress(changed_ec, build_network=True)
+                    lifted_abstract_verdicts(
+                        rebuilt.abstraction,
+                        rebuilt.abstract_network,
+                        changed_ec,
+                        specs,
+                        surviving,
+                        step_waypoints,
+                        path_bound,
+                    )
+                    outcome.rebuild_compress_seconds = (
+                        time.perf_counter() - rebuild_start
+                    )
+
             record.steps.append(outcome)
             prev_step = step_index
             prev_network = changed_network
-            prev_solution = None
-            prev_keys = None
-            prev_index = None
-            continue
-
-        sim_prefix = changed_ec.prefix
-        sim_origins = set(changed_ec.origins)
-        sim_origin_names = frozenset(str(origin) for origin in sim_origins)
-        can_seed = (
-            prev_solution is not None
-            and sim_prefix == prev_prefix
-            and sim_origin_names == prev_origins
-        )
-        outcome.origins_changed = not can_seed
-
-        def build_changed_srp():
-            # Both oracle arms (and the policy-key computation) share one
-            # specialized compilation per (step, class) via the script
-            # state; compiling is destination-work a real rebuild pays
-            # once, not per arm.
-            return build_srp_from_network(
-                changed_network,
-                sim_prefix,
-                set(sim_origins),
-                compiled=state.compiled_for(step_index, network, sim_prefix),
-                include_syntactic_keys=False,
+            prev_solution = solution
+            prev_origins = sim_origin_names
+            prev_prefix = sim_prefix
+            prev_keys = new_keys
+            prev_index = (
+                BaselineIndex.from_solution(solution) if solution is not None else None
             )
-
-        scratch_solution = None
-        if oracle or not can_seed:
-            scratch_srp = build_changed_srp()
-            scratch_start = time.perf_counter()
-            scratch_solution = solve(scratch_srp, max_rounds=max_rounds)
-            outcome.scratch_seconds = time.perf_counter() - scratch_start
-
-        new_keys = state.policy_keys(step_index, network, sim_prefix)
-        if not can_seed:
-            solution = scratch_solution
-        else:
-            if prev_keys is None:
-                prev_keys = state.policy_keys(prev_step, network, sim_prefix)
-            diff = diff_network_edges(
-                prev_network,
-                changed_network,
-                sim_prefix,
-                old_keys=prev_keys,
-                new_keys=new_keys,
-            )
-            outcome.edges_removed = len(diff.removed)
-            outcome.edges_added = len(diff.added)
-            outcome.edges_changed = len(diff.changed)
-            result = delta_resolve(
-                build_changed_srp(),
-                prev_solution,
-                diff,
-                index=prev_index,
-                max_rounds=max_rounds,
-            )
-            solution = result.solution
-            outcome.incremental_used = result.incremental_used
-            outcome.incremental_seconds = result.seconds
-            outcome.tainted = len(result.tainted)
-            outcome.dirty = result.dirty_count
-            if scratch_solution is not None:
-                matches = solution.labeling == scratch_solution.labeling
-                outcome.incremental_matches_scratch = matches
-                if not matches:
-                    outcome.divergent = [
-                        str(n) for n in divergent_nodes(solution, scratch_solution)
-                    ]
-
-        table = forwarding_table_from_solution(changed_network, solution, changed_ec)
-        verdicts = evaluate_suite(
-            specs, table, changed_network.graph.nodes, step_waypoints, path_bound
-        )
-        outcome.newly_failing, outcome.newly_passing = verdict_delta(
-            baseline_verdicts, verdicts, surviving
-        )
-        if outcome.newly_failing:
-            context = PropertyContext(
-                table=table, waypoints=step_waypoints, path_bound=path_bound
-            )
-            for spec in specs:
-                broken = outcome.newly_failing.get(spec.name)
-                if broken:
-                    witness = failure_witness(spec, context, broken[0])
-                    if witness is not None:
-                        outcome.witnesses[spec.name] = witness
-
-        if revalidate_on and compression is not None:
-            factory = _step_bonsai(
-                state, step_index, changed_network, bonsai.use_bdds
-            )
-            reval = revalidate_class(
-                compression,
-                baseline_signature,
-                changed_network,
-                changed_ec,
-                verdicts,
-                specs,
-                step_waypoints,
-                path_bound,
-                recompress_bonsai=factory,
-                changed_keys=new_keys,
-                baseline_lifted=baseline_lifted,
-            )
-            if reval.reused and baseline_lifted is None:
-                baseline_lifted = reval.lifted
-            outcome.reused = reval.reused
-            outcome.recompressed = reval.recompressed
-            outcome.revalidate_seconds = reval.seconds
-            outcome.recompress_seconds = reval.recompress_seconds
-            outcome.revalidation = reval.to_dict()
-            if reval.recompressed:
-                outcome.rebuild_compress_seconds = reval.recompress_seconds
-            elif rebuild_oracle:
-                # The abstraction was reused, so the incremental arm paid
-                # no compression.  Time what a full rebuild would have
-                # paid for the same answer -- a fresh per-class
-                # compression of the changed network plus the abstract
-                # re-verification on it (mirroring what the dirty path's
-                # ``recompress_seconds`` measures) -- for the report's
-                # speedup denominator.
-                rebuild_start = time.perf_counter()
-                rebuilt = factory().compress(changed_ec, build_network=True)
-                lifted_abstract_verdicts(
-                    rebuilt.abstraction,
-                    rebuilt.abstract_network,
-                    changed_ec,
-                    specs,
-                    surviving,
-                    step_waypoints,
-                    path_bound,
-                )
-                outcome.rebuild_compress_seconds = (
-                    time.perf_counter() - rebuild_start
-                )
-
-        record.steps.append(outcome)
-        prev_step = step_index
-        prev_network = changed_network
-        prev_solution = solution
-        prev_origins = sim_origin_names
-        prev_prefix = sim_prefix
-        prev_keys = new_keys
-        prev_index = (
-            BaselineIndex.from_solution(solution) if solution is not None else None
-        )
 
     return record
 
@@ -978,6 +984,9 @@ class DeltaSweep:
         )
 
     def run(self) -> DeltaReport:
+        from repro import obs
+
+        counters_before = obs.snapshot_run()
         start = time.perf_counter()
         options = self.suite.to_options()
         options["script"] = [changeset.to_dict() for changeset in self.script]
@@ -1024,6 +1033,7 @@ class DeltaSweep:
 
         fanout.execute(on_result=on_result, collect=False)
         report.total_seconds = time.perf_counter() - start
+        obs.finish_run(report, counters_before)
         return report
 
 

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from repro.obs import metrics as _metrics
 from repro.srp.instance import SRP
 from repro.srp.solution import Solution
 from repro.srp.solver import ConvergenceError, TransferCache, solve, solve_seeded
@@ -117,8 +118,10 @@ class BaselineIndex:
             return None
         if result is None:
             self._taint_misses += 1
+            _metrics.counter("failures.taint_cache.misses").inc()
             return None
         self._taint_hits += 1
+        _metrics.counter("failures.taint_cache.hits").inc()
         return result
 
     def store_taint(
@@ -131,6 +134,7 @@ class BaselineIndex:
         if len(self._taint_cache) >= self.TAINT_CACHE_LIMIT:
             self._taint_cache.clear()
             self._taint_overflows += 1
+            _metrics.counter("failures.taint_cache.overflows").inc()
         try:
             self._taint_cache[(removed_edges, removed_nodes)] = tainted
         except TypeError:

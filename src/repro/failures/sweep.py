@@ -57,6 +57,7 @@ from repro.failures.incremental import (
     incremental_resolve,
 )
 from repro.failures.scenario import FailureScenario, scenarios_for
+from repro.obs import trace
 from repro.failures.soundness import check_scenario_soundness
 from repro.pipeline.core import EXECUTORS, ClassFanOut, register_class_task
 from repro.pipeline.encoded import EncodedNetwork
@@ -499,28 +500,34 @@ def failure_class_task(bonsai, equivalence_class: EquivalenceClass, options: dic
 
     outcomes: List[ScenarioOutcome] = []
     for scenario in scenarios:
-        outcomes.append(
-            _run_scenario(
-                bonsai,
-                scenario,
-                network,
-                equivalence_class,
-                compiled,
-                baseline_solution,
-                baseline_verdicts,
-                compression,
-                specs,
-                waypoints,
-                path_bound,
-                node_names,
-                shared_cache,
-                baseline_index,
-                oracle=oracle,
-                soundness_on=soundness_on,
-                recompress_fallback=recompress_fallback,
-                max_rounds=max_rounds,
+        # One span per scenario -- and deliberately nothing around the
+        # class baseline above: split shard chunks re-pay the baseline
+        # per chunk, and the chunk-merged trace must reproduce the
+        # serial tree span for span.  Scenarios are pre-sliced per
+        # chunk, so their spans concatenate back in scenario order.
+        with trace.span("scenario", name=scenario.name):
+            outcomes.append(
+                _run_scenario(
+                    bonsai,
+                    scenario,
+                    network,
+                    equivalence_class,
+                    compiled,
+                    baseline_solution,
+                    baseline_verdicts,
+                    compression,
+                    specs,
+                    waypoints,
+                    path_bound,
+                    node_names,
+                    shared_cache,
+                    baseline_index,
+                    oracle=oracle,
+                    soundness_on=soundness_on,
+                    recompress_fallback=recompress_fallback,
+                    max_rounds=max_rounds,
+                )
             )
-        )
 
     return ClassFailureRecord(
         prefix=str(prefix),
@@ -781,6 +788,9 @@ class FailureSweep:
         )
 
     def run(self) -> FailureReport:
+        from repro import obs
+
+        counters_before = obs.snapshot_run()
         start = time.perf_counter()
         options = self.suite.to_options()
         options["scenarios"] = [s.to_dict() for s in self.scenarios]
@@ -823,6 +833,7 @@ class FailureSweep:
 
         fanout.execute(on_result=on_result, collect=False)
         report.total_seconds = time.perf_counter() - start
+        obs.finish_run(report, counters_before)
         return report
 
 

@@ -70,6 +70,7 @@ from repro.netgen.families import (
     default_failure_sample,
     default_size,
 )
+from repro.obs import trace
 from repro.pipeline.core import (
     EXECUTORS,
     SCHEDULERS,
@@ -79,7 +80,7 @@ from repro.pipeline.core import (
 
 #: The subcommand names; an argv starting with one routes to the
 #: subcommand parser, anything else through the legacy flat-flag shim.
-SUBCOMMANDS = ("compress", "verify", "failures", "delta", "store", "serve")
+SUBCOMMANDS = ("compress", "verify", "failures", "delta", "store", "serve", "trace")
 
 #: Legacy spelling -> replacement hint, for the one-per-invocation
 #: deprecation warnings the shim emits.
@@ -358,6 +359,18 @@ def _execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="bound aggregation memory: stream per-class records to a "
         "disk spill and fail (exit 1) if peak RSS exceeds this many MiB",
     )
+    _trace_argument(parser)
+
+
+def _trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a structured trace of the run (spans across all "
+        "executors, parent-linked, with per-span metric deltas) as "
+        "schema-versioned JSONL; inspect with 'trace summarize PATH'",
+    )
 
 
 def _output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -540,6 +553,7 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4,
         help="worker count for thread/process bakes",
     )
+    _trace_argument(store_save)
 
     store_list = store_commands.add_parser(
         "list", help="list every entry's provenance metadata"
@@ -580,6 +594,25 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--syntactic", action="store_true",
         help="use syntactic policy keys instead of BDDs",
+    )
+    _trace_argument(serve)
+
+    trace_cmd = commands.add_parser(
+        "trace",
+        help="inspect structured trace files written by --trace",
+    )
+    trace_commands = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_commands.add_parser(
+        "summarize",
+        help="print a trace file's span tree and self-time hotspots",
+    )
+    trace_summarize.add_argument("path", help="trace JSONL file (from --trace)")
+    trace_summarize.add_argument(
+        "--top", type=int, default=10, help="hotspot rows to show (default 10)"
+    )
+    trace_summarize.add_argument(
+        "--max-depth", type=int, default=4,
+        help="span tree depth to render (default 4)",
     )
 
     return parser
@@ -749,7 +782,8 @@ def _run_verify(args, families: List[str]) -> int:
                 cost_store=getattr(args, "cost_store", None),
             )
             try:
-                report = verifier.run(raise_on_timeout=False)
+                with trace.span("family", family=family, size=str(size)):
+                    report = verifier.run(raise_on_timeout=False)
             except PipelineError as exc:
                 print(f"verification failed: {exc}", file=sys.stderr)
                 return 1
@@ -810,7 +844,8 @@ def _run_failures(args, families: List[str]) -> int:
                 use_bdds=not args.syntactic,
                 **_sweep_scale_kwargs(args),
             )
-            report = sweep.run()
+            with trace.span("family", family=family, size=str(size)):
+                report = sweep.run()
         except PipelineError as exc:
             print(f"failure sweep failed: {exc}", file=sys.stderr)
             return 1
@@ -923,7 +958,8 @@ def _run_delta(args, families: List[str]) -> int:
                 use_bdds=not args.syntactic,
                 **_sweep_scale_kwargs(args),
             )
-            report = sweep.run()
+            with trace.span("family", family=family, size=str(size)):
+                report = sweep.run()
         except ChangeError as exc:
             print(f"invalid change script for {family}({size}): {exc}", file=sys.stderr)
             return 2
@@ -977,12 +1013,13 @@ def _run_compress(args, family: str) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        if memory_budget is not None:
-            # Streaming mode: per-class records spill to disk as they
-            # arrive, so peak RSS stays bounded on fat topologies.
-            report = pipeline.run_streaming(spill=True)
-        else:
-            report = pipeline.run().report
+        with trace.span("family", family=family, size=str(size)):
+            if memory_budget is not None:
+                # Streaming mode: per-class records spill to disk as they
+                # arrive, so peak RSS stays bounded on fat topologies.
+                report = pipeline.run_streaming(spill=True)
+            else:
+                report = pipeline.run().report
     except PipelineError as exc:
         print(f"pipeline failed: {exc}", file=sys.stderr)
         return 1
@@ -1114,7 +1151,32 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_trace(args) -> int:
+    # trace summarize: the only trace subcommand so far.
+    try:
+        header, root = trace.read_jsonl(args.path)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {args.path}: {exc}", file=sys.stderr)
+        return 1
+    command = header.get("command", "?")
+    print(f"trace: {args.path} (command: {command}, schema v{header.get('schema_version')})")
+    info = trace.summary(root, top=args.top)
+    print(f"  {info['span_count']} spans, {info['total_ms']:.1f}ms total")
+    print("span tree:")
+    for line in trace.tree_lines(root, max_depth=args.max_depth):
+        print(f"  {line}")
+    print(f"hotspots (top {args.top} by self time):")
+    for row in info["hotspots"]:
+        print(
+            f"  {row['name']}: {row['self_ms']:.1f}ms self / "
+            f"{row['total_ms']:.1f}ms total over {row['count']} span(s)"
+        )
+    return 0
+
+
 def _dispatch_subcommand(args) -> int:
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "store":
         return _run_store(args)
     if args.command == "serve":
@@ -1232,6 +1294,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if argv and argv[0] in SUBCOMMANDS:
             args = build_subcommand_parser().parse_args(argv)
+            trace_path = getattr(args, "trace", None)
+            if trace_path:
+                trace.begin("run", command=args.command)
             try:
                 return _dispatch_subcommand(args)
             except ValueError as exc:
@@ -1240,6 +1305,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             except VerificationTimeout as exc:  # pragma: no cover - defensive
                 print(f"verification timed out: {exc}", file=sys.stderr)
                 return 1
+            finally:
+                if trace_path:
+                    root = trace.end()
+                    if root is not None:
+                        try:
+                            trace.write_jsonl(
+                                trace_path, root, context={"command": args.command}
+                            )
+                        except OSError as exc:
+                            print(
+                                f"error: cannot write trace to {trace_path}: {exc}",
+                                file=sys.stderr,
+                            )
+                        else:
+                            print(f"  trace written to {trace_path}")
         return _legacy_main(argv)
     except SystemExit as exc:  # argparse --help / usage errors
         code = exc.code

@@ -52,6 +52,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.abstraction.bonsai import Bonsai, CompressionResult
 from repro.abstraction.ec import EquivalenceClass
 from repro.config.network import Network
+from repro.obs import metrics as _metrics
+from repro.obs import trace
 from repro.pipeline.encoded import EncodedNetwork
 from repro.pipeline.report import EcRecord, PipelineReport
 
@@ -115,9 +117,10 @@ def compress_class_task(
     bonsai: Bonsai, equivalence_class: EquivalenceClass, options: dict
 ) -> CompressionResult:
     """The ``"compress"`` task: Bonsai compression of one class."""
-    return bonsai.compress(
-        equivalence_class, build_network=bool(options.get("build_networks", False))
-    )
+    with trace.span("compress", cls=str(equivalence_class.prefix)):
+        return bonsai.compress(
+            equivalence_class, build_network=bool(options.get("build_networks", False))
+        )
 
 
 # ----------------------------------------------------------------------
@@ -139,37 +142,43 @@ def _run_batch(
     task_path: str,
     batch: Sequence[Tuple[int, EquivalenceClass]],
     options: dict,
-) -> List[Tuple[int, object, float]]:
+    capture_trace: bool = False,
+    ship_metrics: bool = False,
+) -> List[Tuple[int, object, float, Optional[dict]]]:
     """Run one batch of ``(index, class)`` pairs through a task in a worker.
 
-    Each entry comes back as ``(index, result, seconds)`` -- the observed
-    per-class wall-clock feeds the cost model scheduling the next sweep.
-    Failures are returned as ``(index, _WorkerFailure, seconds)`` markers
-    rather than raised, so one bad class produces a clean coordinator-side
-    error naming the class instead of a bare pickled traceback from the
-    pool.
+    Each entry comes back as ``(index, result, seconds, obs)`` -- the
+    observed per-class wall-clock feeds the cost model scheduling the
+    next sweep, and ``obs`` (present only when the coordinator asked for
+    it) carries the unit's captured span subtree and/or the worker-local
+    counter delta back across the pool boundary.  ``capture_trace`` is
+    the coordinator's ``trace.active()`` at submit time (worker processes
+    never saw ``trace.begin()`` themselves); ``ship_metrics`` is set only
+    for process pools -- thread workers already increment the shared
+    registry, and shipping the delta too would double count.  Failures
+    are returned as ``(index, _WorkerFailure, seconds, obs)`` markers
+    rather than raised, so one bad class produces a clean
+    coordinator-side error naming the class instead of a bare pickled
+    traceback from the pool.
     """
     bonsai: Bonsai = _worker_state.bonsai
     task = _import_task(task_path)
-    out: List[Tuple[int, object, float]] = []
+    out: List[Tuple[int, object, float, Optional[dict]]] = []
     for index, equivalence_class in batch:
         start = time.perf_counter()
-        try:
-            result = task(bonsai, equivalence_class, options)
-        except Exception as exc:  # noqa: BLE001 - reported to the coordinator
-            out.append(
-                (
-                    index,
-                    _WorkerFailure(
-                        prefix=str(equivalence_class.prefix),
-                        error=repr(exc),
-                        traceback=traceback.format_exc(),
-                    ),
-                    time.perf_counter() - start,
+        with trace.capture_unit(
+            capture_trace, ship_metrics, cls=str(equivalence_class.prefix)
+        ) as obs:
+            try:
+                result = task(bonsai, equivalence_class, options)
+            except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+                result = _WorkerFailure(
+                    prefix=str(equivalence_class.prefix),
+                    error=repr(exc),
+                    traceback=traceback.format_exc(),
                 )
-            )
-        else:
-            out.append((index, result, time.perf_counter() - start))
+        blob = obs if (capture_trace or ship_metrics) else None
+        out.append((index, result, time.perf_counter() - start, blob))
     return out
 
 
@@ -286,13 +295,17 @@ class ClassFanOut:
         self.last_unit_seconds: Dict[str, float] = {}
         self.last_unit_counts: Dict[str, int] = {}
         self._fingerprint: Optional[str] = None
+        self._unit_obs: List[Tuple[int, int, dict]] = []
 
     # ------------------------------------------------------------------
     # Batching
     # ------------------------------------------------------------------
     def _ensure_artifact(self) -> EncodedNetwork:
         if self.artifact is None:
-            self.artifact = EncodedNetwork.build(self.network, use_bdds=self.use_bdds)
+            with trace.span("encode", network=self.network.name):
+                self.artifact = EncodedNetwork.build(
+                    self.network, use_bdds=self.use_bdds
+                )
         return self.artifact
 
     def partition(
@@ -368,6 +381,11 @@ class ClassFanOut:
             and bool(classes)
         )
         self.last_scheduler = "stealing" if stealing else "static"
+        #: Per-unit observability captures -- ``(index, chunk, blob)`` --
+        #: buffered during the run and folded in *sorted by (index,
+        #: chunk)* afterwards, so the attached trace subtrees (and merged
+        #: counter deltas) are independent of completion order.
+        self._unit_obs: List[Tuple[int, int, dict]] = []
         if stealing:
             indexed_results = self._run_stealing(
                 artifact, classes, on_result=on_result, collect=collect
@@ -383,6 +401,7 @@ class ClassFanOut:
                 indexed_results = self._run_pool(
                     artifact, batches, on_result=on_result, collect=collect
                 )
+        self._finalize_unit_obs(merge_metrics=self.executor == "process")
         self._record_costs()
 
         if not collect:
@@ -407,6 +426,38 @@ class ClassFanOut:
             on_result(index, result, seconds)
         if out is not None:
             out.append((index, result))
+
+    def _finalize_unit_obs(self, merge_metrics: bool) -> None:
+        """Fold the buffered per-unit captures into the coordinator.
+
+        Worker counter deltas merge into the global registry (process
+        pools only); captured span subtrees attach under the current span
+        sorted by (class index, chunk index), a split class's chunks
+        merged back into one class span -- so the resulting trace tree is
+        bit-identical across serial, thread, process and stealing runs.
+        """
+        entries = self._unit_obs
+        self._unit_obs = []
+        if merge_metrics:
+            for _, _, blob in entries:
+                delta = blob.get("metrics")
+                if delta:
+                    _metrics.merge_counters(delta)
+        for prefix, seconds in sorted(self.last_unit_seconds.items()):
+            _metrics.histogram("pipeline.class_seconds").observe(seconds)
+        _metrics.counter("pipeline.classes_completed").inc(
+            sum(self.last_unit_counts.values())
+        )
+        if not trace.active():
+            return
+        by_index: Dict[int, List[Tuple[int, dict]]] = {}
+        for index, chunk, blob in entries:
+            span_dict = blob.get("span")
+            if span_dict is not None:
+                by_index.setdefault(index, []).append((chunk, span_dict))
+        for index in sorted(by_index):
+            chunks = [s for _, s in sorted(by_index[index], key=lambda pair: pair[0])]
+            trace.attach(trace.merge_chunk_spans(chunks))
 
     def _record_costs(self) -> None:
         """Transparently persist observed per-class costs (advisory: a
@@ -455,6 +506,7 @@ class ClassFanOut:
         results = coordinator.run(on_result=on_result, collect=collect)
         self.last_unit_seconds = dict(coordinator.observed_seconds)
         self.last_unit_counts = dict(coordinator.observed_units)
+        self._unit_obs.extend(coordinator.captured_obs)
         return results if results is not None else []
 
     def _run_serial(
@@ -466,17 +518,26 @@ class ClassFanOut:
     ) -> List[Tuple[int, object]]:
         bonsai = artifact.make_bonsai()
         task = _import_task(self.task)
+        capture = trace.active()
         out: Optional[List[Tuple[int, object]]] = [] if collect else None
         for batch in batches:
             for index, equivalence_class in batch:
                 start = time.perf_counter()
-                try:
-                    result = task(bonsai, equivalence_class, self.task_options)
-                except Exception as exc:
-                    raise PipelineError(
-                        f"task {self.task!r} on equivalence class "
-                        f"{equivalence_class.prefix} failed: {exc!r}"
-                    ) from exc
+                # Even inline units go through capture_unit: spans buffer
+                # and attach index-sorted afterwards, exactly like pool
+                # units, so serial and pooled trace trees are identical.
+                with trace.capture_unit(
+                    capture, False, cls=str(equivalence_class.prefix)
+                ) as obs:
+                    try:
+                        result = task(bonsai, equivalence_class, self.task_options)
+                    except Exception as exc:
+                        raise PipelineError(
+                            f"task {self.task!r} on equivalence class "
+                            f"{equivalence_class.prefix} failed: {exc!r}"
+                        ) from exc
+                if capture:
+                    self._unit_obs.append((index, 0, obs))
                 self._note_unit(
                     index,
                     equivalence_class,
@@ -510,17 +571,26 @@ class ClassFanOut:
         payload = artifact.to_bytes()
         class_by_index = {index: ec for batch in batches for index, ec in batch}
         out: Optional[List[Tuple[int, object]]] = [] if collect else None
+        capture = trace.active()
+        ship_metrics = self.executor == "process"
         try:
             with self._make_pool(payload) as pool:
                 pending = {
-                    pool.submit(_run_batch, self.task, batch, self.task_options)
+                    pool.submit(
+                        _run_batch,
+                        self.task,
+                        batch,
+                        self.task_options,
+                        capture,
+                        ship_metrics,
+                    )
                     for batch in batches
                 }
                 try:
                     while pending:
                         done, pending = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
-                            for index, item, seconds in future.result():
+                            for index, item, seconds, obs in future.result():
                                 if isinstance(item, _WorkerFailure):
                                     raise PipelineError(
                                         f"task {self.task!r} on equivalence class "
@@ -528,6 +598,8 @@ class ClassFanOut:
                                         f"{self.executor} worker: {item.error}\n"
                                         f"{item.traceback}"
                                     )
+                                if obs is not None:
+                                    self._unit_obs.append((index, 0, obs))
                                 self._note_unit(
                                     index,
                                     class_by_index[index],
@@ -620,6 +692,9 @@ class CompressionPipeline(ClassFanOut):
 
     def run(self) -> PipelineRun:
         """Compress every class and aggregate the results."""
+        from repro import obs
+
+        counters_before = obs.snapshot_run()
         start = time.perf_counter()
         results = self.execute()
         total_seconds = time.perf_counter() - start
@@ -637,6 +712,7 @@ class CompressionPipeline(ClassFanOut):
             total_seconds=total_seconds,
             records=[EcRecord.from_result(result) for result in results],
         )
+        obs.finish_run(report, counters_before)
         return PipelineRun(results=results, report=report)
 
     def run_streaming(
@@ -651,6 +727,9 @@ class CompressionPipeline(ClassFanOut):
         Returns the report only -- callers needing the full
         ``CompressionResult`` objects want :meth:`run`.
         """
+        from repro import obs
+
+        counters_before = obs.snapshot_run()
         start = time.perf_counter()
         artifact, classes = self.prepare()
         report = PipelineReport(
@@ -677,4 +756,5 @@ class CompressionPipeline(ClassFanOut):
         report.batch_size = len(batches[0]) if batches else 0
         report.num_batches = len(batches)
         report.total_seconds = time.perf_counter() - start
+        obs.finish_run(report, counters_before)
         return report

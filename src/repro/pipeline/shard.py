@@ -42,6 +42,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.abstraction.ec import EquivalenceClass
+from repro.obs import metrics as _metrics
+from repro.obs import trace
 from repro.pipeline import core as _core
 from repro.pipeline.encoded import EncodedNetwork
 
@@ -222,27 +224,32 @@ def _run_units(
     task_path: str,
     units: Sequence[Tuple[Tuple[int, int], int, EquivalenceClass, Optional[dict]]],
     options: dict,
+    capture_trace: bool = False,
 ):
     """Run one bundle of units in a pool worker; per-unit wall-clock is
-    measured here so the coordinator can record observed costs.  Failures
-    come back as markers, like :func:`repro.pipeline.core._run_batch`."""
+    measured here so the coordinator can record observed costs, and each
+    unit's captured span subtree + counter delta ride back with the
+    result (``capture_trace`` relays the coordinator's ``trace.active()``
+    -- worker processes never saw ``trace.begin()``).  Failures come back
+    as markers, like :func:`repro.pipeline.core._run_batch`."""
     bonsai = _core._worker_state.bonsai
     task = _core._import_task(task_path)
     out = []
     for uid, index, equivalence_class, patch in units:
         effective = options if patch is None else {**options, **patch}
         start = time.perf_counter()
-        try:
-            result = task(bonsai, equivalence_class, effective)
-        except Exception as exc:  # noqa: BLE001 - reported to the coordinator
-            failure = _core._WorkerFailure(
-                prefix=str(equivalence_class.prefix),
-                error=repr(exc),
-                traceback=traceback.format_exc(),
-            )
-            out.append((uid, index, failure, time.perf_counter() - start))
-        else:
-            out.append((uid, index, result, time.perf_counter() - start))
+        with trace.capture_unit(
+            capture_trace, True, cls=str(equivalence_class.prefix)
+        ) as obs:
+            try:
+                result = task(bonsai, equivalence_class, effective)
+            except Exception as exc:  # noqa: BLE001 - reported to the coordinator
+                result = _core._WorkerFailure(
+                    prefix=str(equivalence_class.prefix),
+                    error=repr(exc),
+                    traceback=traceback.format_exc(),
+                )
+        out.append((uid, index, result, time.perf_counter() - start, obs))
     return out
 
 
@@ -312,6 +319,9 @@ class ShardCoordinator:
         #: Filled by :meth:`run`: per-class observed seconds / unit counts.
         self.observed_seconds: Dict[str, float] = {}
         self.observed_units: Dict[str, int] = {}
+        #: Per-unit observability captures -- ``(index, chunk, blob)`` --
+        #: for :meth:`ClassFanOut._finalize_unit_obs`.
+        self.captured_obs: List[Tuple[int, int, dict]] = []
 
     # ------------------------------------------------------------------
     # Planning
@@ -385,6 +395,18 @@ class ShardCoordinator:
         if current:
             bundles.append(current)
         self.bundles = bundles
+        _metrics.counter("shard.units").inc(len(units))
+        _metrics.counter("shard.bundles").inc(len(bundles))
+        _metrics.counter("shard.split_classes").inc(
+            len({unit.index for unit in units if unit.chunks > 1})
+        )
+        if self.warm:
+            _metrics.counter("shard.warm_plans").inc()
+        # Bundles beyond one per worker are pulled by whichever worker
+        # drains its queue first -- the "stolen" share of the schedule.
+        _metrics.counter("shard.steals").inc(
+            max(0, len(bundles) - min(self.workers, len(bundles)))
+        )
         return bundles
 
     # ------------------------------------------------------------------
@@ -403,8 +425,10 @@ class ShardCoordinator:
         results: Optional[List[Tuple[int, object]]] = [] if collect else None
         self.observed_seconds = {}
         self.observed_units = {}
+        self.captured_obs = []
         if not bundles:
             return results
+        capture_trace = trace.active()
         merger = UNIT_MERGERS.get(self.task_path)
         #: class index -> {chunk: result} for classes awaiting chunks.
         partial: Dict[int, Dict[int, object]] = {}
@@ -434,6 +458,7 @@ class ShardCoordinator:
                             for unit in bundle
                         ],
                         self.options,
+                        capture_trace,
                     )
                     for bundle in bundles
                 }
@@ -441,7 +466,7 @@ class ShardCoordinator:
                     while pending:
                         done, pending = wait(pending, return_when=FIRST_COMPLETED)
                         for future in done:
-                            for uid, index, item, seconds in future.result():
+                            for uid, index, item, seconds, obs in future.result():
                                 unit = unit_by_uid[uid]
                                 prefix = str(unit.equivalence_class.prefix)
                                 if isinstance(item, _core._WorkerFailure):
@@ -450,6 +475,7 @@ class ShardCoordinator:
                                         f"class {item.prefix} failed in a process "
                                         f"worker: {item.error}\n{item.traceback}"
                                     )
+                                self.captured_obs.append((index, unit.chunk, obs))
                                 self.observed_seconds[prefix] = (
                                     self.observed_seconds.get(prefix, 0.0) + seconds
                                 )

@@ -22,6 +22,8 @@ import os
 import tempfile
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import metrics as _metrics
+
 
 class RecordSpill:
     """An append-only JSONL file of ``(index, payload)`` records.
@@ -62,7 +64,10 @@ class RecordSpill:
         offset = self._handle.tell()
         self._handle.write(line)
         self._handle.write("\n")
-        self._entries.append((index, offset, len(line.encode("utf-8"))))
+        size = len(line.encode("utf-8"))
+        self._entries.append((index, offset, size))
+        _metrics.counter("pipeline.spill_records").inc()
+        _metrics.counter("pipeline.spill_bytes").inc(size + 1)
 
     # ------------------------------------------------------------------
     # Reading (records come back in class-index order)

@@ -68,19 +68,37 @@ class ReportEnvelope:
     kind: str = ""
 
     #: The keys the envelope contributes to ``to_dict`` output.
-    ENVELOPE_KEYS = ("schema_version", "kind", "ok", "generated_by")
+    ENVELOPE_KEYS = ("schema_version", "kind", "ok", "generated_by",
+                     "obs_metrics", "trace_summary")
 
     def ok(self) -> bool:
         """The report-level gate: True when the run passed its checks."""
         raise NotImplementedError
 
+    def attach_observability(self, metrics_block=None, trace_summary=None) -> None:
+        """Stamp run-level telemetry (counter deltas, gauges, histogram
+        summaries, optional trace hotspots) onto the envelope; emitted by
+        :meth:`envelope_dict` when present.  Stored in ``__dict__`` so
+        frozen/slotted report dataclasses need no new fields."""
+        if metrics_block is not None:
+            self.__dict__["_obs_metrics"] = metrics_block
+        if trace_summary is not None:
+            self.__dict__["_trace_summary"] = trace_summary
+
     def envelope_dict(self) -> Dict[str, object]:
-        return {
+        envelope: Dict[str, object] = {
             "schema_version": REPORT_SCHEMA_VERSION,
             "kind": self.kind,
             "ok": bool(self.ok()),
             "generated_by": GENERATED_BY,
         }
+        obs_metrics = self.__dict__.get("_obs_metrics")
+        if obs_metrics is not None:
+            envelope["obs_metrics"] = obs_metrics
+        trace_summary = self.__dict__.get("_trace_summary")
+        if trace_summary is not None:
+            envelope["trace_summary"] = trace_summary
+        return envelope
 
     @classmethod
     def strip_envelope(cls, data: Dict) -> Dict:

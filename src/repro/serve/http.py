@@ -8,6 +8,7 @@ endpoint              method  body / answer
 ====================  ======  ==============================================
 ``/health``           GET     service identity and warm-baseline stats
 ``/stats``            GET     per-kind query latency percentiles
+``/metrics``          GET     Prometheus text exposition (global + serve)
 ``/verify``           POST    ``{"prefix"?, "properties"?}`` -> report dict
 ``/delta``            POST    ``{"script": [...], "revalidate"?}`` -> report
 ``/failures``         POST    ``{"k"?, "sample"?, "properties"?}`` -> report
@@ -59,6 +60,14 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        encoded = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length < 0:
@@ -91,6 +100,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._dispatch(self.service.health)
         elif self.path == "/stats":
             self._dispatch(self.service.stats_summary)
+        elif self.path == "/metrics":
+            try:
+                body = self.service.metrics_text()
+            except Exception as exc:  # pragma: no cover - defensive
+                self._send_json(500, {"ok": False, "error": f"internal error: {exc}"})
+                return
+            self._send_text(200, body, "text/plain; version=0.0.4; charset=utf-8")
         else:
             self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
 

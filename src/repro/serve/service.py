@@ -22,12 +22,17 @@ import threading
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import perfutil
 from repro.api import Session
 from repro.delta.changeset import ChangeSet, change_from_dict
+from repro.obs import metrics as _metrics
+from repro.obs.metrics import MetricsRegistry
 
 #: Bound on the memoised verify answers (distinct (prefix, properties)
 #: keys); overflow evicts wholesale, like the solver's TransferCache.
 DEFAULT_ANSWER_CACHE_LIMIT = 256
+
+_LATENCY_PREFIX = "serve.latency."
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -39,33 +44,39 @@ def _percentile(sorted_values: List[float], q: float) -> float:
 
 
 class QueryStats:
-    """Thread-safe per-kind latency samples with percentile summaries."""
+    """Per-kind latency accounting on bounded histograms.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._samples: Dict[str, List[float]] = {}
-        self._coalesced: Dict[str, int] = {}
+    Backed by a private :class:`MetricsRegistry`, so a service that runs
+    for weeks holds O(reservoir) floats per query kind instead of every
+    sample ever recorded, and its counts reset with the service rather
+    than the process.  ``summary()`` keeps the historical ``/stats``
+    shape (count / coalesced / mean / p50 / p95 / max, all in ms).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def record(self, kind: str, seconds: float, coalesced: bool = False) -> None:
-        with self._lock:
-            self._samples.setdefault(kind, []).append(seconds)
-            if coalesced:
-                self._coalesced[kind] = self._coalesced.get(kind, 0) + 1
+        self.registry.histogram(_LATENCY_PREFIX + kind).observe(seconds)
+        if coalesced:
+            self.registry.counter(f"serve.coalesced.{kind}").inc()
 
     def summary(self) -> Dict[str, Dict[str, float]]:
-        with self._lock:
-            out: Dict[str, Dict[str, float]] = {}
-            for kind, samples in self._samples.items():
-                ordered = sorted(samples)
-                out[kind] = {
-                    "count": len(ordered),
-                    "coalesced": self._coalesced.get(kind, 0),
-                    "mean_ms": 1e3 * sum(ordered) / len(ordered),
-                    "p50_ms": 1e3 * _percentile(ordered, 0.50),
-                    "p95_ms": 1e3 * _percentile(ordered, 0.95),
-                    "max_ms": 1e3 * ordered[-1],
-                }
-            return out
+        collected = self.registry.collect()
+        out: Dict[str, Dict[str, float]] = {}
+        for name, stats in collected["histograms"].items():
+            if not name.startswith(_LATENCY_PREFIX):
+                continue
+            kind = name[len(_LATENCY_PREFIX):]
+            out[kind] = {
+                "count": stats["count"],
+                "coalesced": collected["counters"].get(f"serve.coalesced.{kind}", 0),
+                "mean_ms": 1e3 * (stats["mean"] or 0.0),
+                "p50_ms": 1e3 * (stats["p50"] or 0.0),
+                "p95_ms": 1e3 * (stats["p95"] or 0.0),
+                "max_ms": 1e3 * (stats["max"] or 0.0),
+            }
+        return out
 
 
 class _Coalescer:
@@ -123,6 +134,10 @@ class VerificationService:
     ) -> None:
         self.session = session
         self.stats = QueryStats()
+        #: Per-service registry: query latencies, coalescing and answer
+        #: cache counters live here (and reset with the service); solver
+        #: and cache counters stay in the process-global registry.
+        self.registry = self.stats.registry
         self._coalescer = _Coalescer()
         self._cache_lock = threading.Lock()
         self._cache_limit = answer_cache_limit
@@ -131,17 +146,50 @@ class VerificationService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def _answer_cache_info(self) -> Dict[str, object]:
+        with self._cache_lock:
+            size = len(self._answers)
+        collected = self.registry.collect()["counters"]
+        return {
+            "size": size,
+            "limit": self._cache_limit,
+            "hits": collected.get("serve.answer_cache.hits", 0),
+            "misses": collected.get("serve.answer_cache.misses", 0),
+            "overflows": collected.get("serve.answer_cache.overflows", 0),
+        }
+
     def health(self) -> Dict[str, object]:
+        rss = perfutil.peak_rss_mb()
+        self.registry.gauge("process.peak_rss_mb").max(rss)
         return {
             "ok": True,
             "network": self.session.network.name,
             "fingerprint": self.session.fingerprint,
             "classes": len(self.session.classes),
             "warm": True,
+            "peak_rss_mb": round(rss, 3),
+            "answer_cache": self._answer_cache_info(),
+            "store": {
+                "root": None if self.session._store_root is None else str(self.session._store_root),
+                "rebuilt": self.session.rebuilt,
+                "rebuild_reason": self.session.rebuild_reason,
+            },
         }
 
     def stats_summary(self) -> Dict[str, object]:
-        return {"ok": True, "queries": self.stats.summary()}
+        rss = perfutil.peak_rss_mb()
+        self.registry.gauge("process.peak_rss_mb").max(rss)
+        return {
+            "ok": True,
+            "queries": self.stats.summary(),
+            "process": {"peak_rss_mb": round(rss, 3)},
+            "answer_cache": self._answer_cache_info(),
+        }
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the global + service registries."""
+        self.registry.gauge("process.peak_rss_mb").max(perfutil.peak_rss_mb())
+        return _metrics.render_prometheus([_metrics.REGISTRY, self.registry])
 
     # ------------------------------------------------------------------
     # Queries
@@ -150,11 +198,14 @@ class VerificationService:
         with self._cache_lock:
             answer = self._answers.get(key)
         if answer is not None:
+            self.registry.counter("serve.answer_cache.hits").inc()
             return answer
+        self.registry.counter("serve.answer_cache.misses").inc()
         answer = compute()
         with self._cache_lock:
             if len(self._answers) >= self._cache_limit:
                 self._answers.clear()
+                self.registry.counter("serve.answer_cache.overflows").inc()
             self._answers[key] = answer
         return answer
 

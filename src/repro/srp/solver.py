@@ -43,6 +43,7 @@ import itertools
 import random
 from typing import Any, List, Optional, Sequence
 
+from repro.obs import metrics as _metrics
 from repro.srp.instance import SRP
 from repro.srp.solution import Labeling, Solution
 from repro.topology.graph import Node
@@ -178,6 +179,7 @@ def solve(
         unconverged labeling is never returned silently.
     """
     COUNTERS.scratch_solves += 1
+    _metrics.counter("srp.scratch_solves").inc()
     labeling: Labeling = {node: None for node in srp.graph.nodes}
     labeling[srp.destination] = srp.initial
     dirty = [node for node in srp.graph.nodes if node != srp.destination]
@@ -222,6 +224,7 @@ def solve_seeded(
     back to a scratch solve").
     """
     COUNTERS.seeded_solves += 1
+    _metrics.counter("srp.seeded_solves").inc()
     seeded: Labeling = {node: labeling.get(node) for node in srp.graph.nodes}
     seeded[srp.destination] = srp.initial
     dirty = list(
@@ -255,7 +258,45 @@ def _worklist(
     verify_stability: bool,
 ) -> Solution:
     """The dependency-tracked worklist core shared by :func:`solve` and
-    :func:`solve_seeded`."""
+    :func:`solve_seeded`.
+
+    The inner loop touches only the cache's fast local attribute
+    counters; their per-solve deltas (plus the transfer's eval-cache
+    info, when present) are absorbed into the :mod:`repro.obs` registry
+    once on the way out -- the solve boundary is the coarsest point that
+    still attributes cache traffic to the right span.
+    """
+    hits0, misses0, over0 = (
+        transfer_cache.hits, transfer_cache.misses, transfer_cache.overflows,
+    )
+    eval_info = getattr(srp.transfer, "eval_cache_info", None)
+    eval0 = eval_info() if eval_info is not None else None
+    try:
+        return _worklist_run(
+            srp, labeling, dirty, transfer_cache, max_rounds, verify_stability
+        )
+    finally:
+        _metrics.absorb_cache_info(
+            "srp.transfer_cache",
+            {"hits": hits0, "misses": misses0, "overflows": over0},
+            {
+                "hits": transfer_cache.hits,
+                "misses": transfer_cache.misses,
+                "overflows": transfer_cache.overflows,
+            },
+        )
+        if eval_info is not None:
+            _metrics.absorb_cache_info("config.eval_cache", eval0, eval_info())
+
+
+def _worklist_run(
+    srp: SRP,
+    labeling: Labeling,
+    dirty,
+    transfer_cache,
+    max_rounds: int,
+    verify_stability: bool,
+) -> Solution:
     graph = srp.graph
     transfer = srp.transfer
     prefer = srp.prefer
@@ -425,6 +466,7 @@ def solve_sweep(srp: SRP, max_rounds: int = 1000) -> Solution:
         unconverged labeling is never returned silently.
     """
     COUNTERS.scratch_solves += 1
+    _metrics.counter("srp.scratch_solves").inc()
     labeling: Labeling = {node: None for node in srp.graph.nodes}
     labeling[srp.destination] = srp.initial
 
@@ -474,6 +516,7 @@ def solve_with_activation_order(
         Seed for the pseudo-random order when ``order`` is not given.
     """
     COUNTERS.scratch_solves += 1
+    _metrics.counter("srp.scratch_solves").inc()
     nodes = [n for n in srp.graph.nodes if n != srp.destination]
     if order is None:
         rng = random.Random(seed)

@@ -245,5 +245,5 @@ class TestLegacyShim:
 
     def test_subcommand_names_are_reserved(self):
         assert set(SUBCOMMANDS) == {
-            "compress", "verify", "failures", "delta", "store", "serve"
+            "compress", "verify", "failures", "delta", "store", "serve", "trace"
         }
