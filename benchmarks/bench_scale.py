@@ -375,6 +375,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "this factor on the skewed workload",
     )
     parser.add_argument(
+        "--history",
+        default=None,
+        help="append this run to the given bench-history file "
+        "(default: $REPRO_OBS_HISTORY or ./BENCH_HISTORY.jsonl)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip the bench-history append",
+    )
+    parser.add_argument(
         "--run-point",
         default=None,
         metavar="JSON",
@@ -446,6 +457,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"  report written to {args.out}")
+
+    if not args.no_history:
+        from repro.obs import history as bench_history
+
+        path = bench_history.default_history_path(args.history)
+        bench_history.append(
+            path,
+            "scale",
+            stages,
+            peak_rss_mb=max(rss.values()) if rss else None,
+            meta={
+                "mode": mode,
+                "repeat": args.repeat,
+                "steal_speedup": speedup,
+                "rss_mb": rss,
+            },
+        )
+        print(f"  history appended to {path}")
     return status
 
 

@@ -226,6 +226,11 @@ def delta_resolve(
         # oscillating changed network).  Fall back to the scratch solver
         # so the caller still gets an answer -- or the scratch solver's
         # own ConvergenceError, which is then a property of the network.
+        from repro.obs import events as _events
+        from repro.obs import metrics as _metrics
+
+        _metrics.counter("incremental.scratch_fallbacks").inc()
+        _events.emit("fallback.scratch", solver="delta", dirty=len(dirty))
         solution = solve(
             changed_srp, max_rounds=max_rounds, transfer_cache=transfer_cache
         )

@@ -38,6 +38,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.srp.instance import SRP
 from repro.srp.solution import Solution
@@ -263,6 +264,10 @@ def incremental_resolve(
         # the caller still gets an answer -- or the scratch solver's own
         # ConvergenceError, which is then a property of the network, not
         # of the seeding.
+        _metrics.counter("incremental.scratch_fallbacks").inc()
+        _events.emit(
+            "fallback.scratch", solver="failures", dirty=len(dirty)
+        )
         solution = solve(failed_srp, max_rounds=max_rounds, transfer_cache=transfer_cache)
         used = False
     return IncrementalSolve(

@@ -9,6 +9,16 @@ Two halves:
 * :mod:`repro.obs.trace` -- structured parent-linked spans with a
   ``--trace`` JSONL export, deterministic across executors.
 
+The second observability stage builds on those:
+
+* :mod:`repro.obs.profile` -- a span-scoped sampling profiler with
+  collapsed-stack flamegraph export (``--profile``);
+* :mod:`repro.obs.events` -- a schema-versioned structured event stream
+  (``--events``), driving the ``--progress`` live meter and serve's
+  ``/events`` long poll;
+* :mod:`repro.obs.history` -- the append-only bench history behind
+  ``bench history`` and its rolling-median regression check.
+
 :func:`snapshot_run` / :func:`finish_run` bracket a sweep: the sweep
 engines snapshot counters before running and call ``finish_run`` on
 their report at the end, which records the peak-RSS gauge and attaches
@@ -19,9 +29,9 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.obs import metrics, trace
+from repro.obs import events, metrics, trace
 
-__all__ = ["metrics", "trace", "snapshot_run", "finish_run"]
+__all__ = ["events", "metrics", "trace", "snapshot_run", "finish_run"]
 
 
 def snapshot_run() -> Dict[str, float]:

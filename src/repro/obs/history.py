@@ -1,0 +1,234 @@
+"""Append-only bench history: performance trajectory across runs.
+
+Each ``BENCH_*.json`` baseline is a single frozen point; the history is
+the *curve*.  Every benchmark run appends one self-describing record
+(schema version, timestamp, git sha, per-stage timings, peak RSS, key
+counters) to ``BENCH_HISTORY.jsonl``; ``repro.pipeline bench history``
+prints per-stage trend lines and runs a rolling-median regression
+check: the latest run of each stage is compared against the median of
+the preceding *window* runs, with the same relative-plus-absolute slack
+posture as the frozen-baseline gates.  The median makes the reference
+robust to one noisy CI machine; the window makes it track legitimate
+drift instead of pinning to a stale baseline forever.
+
+Unlike the header-per-file trace/event/profile formats, the history is
+append-only across processes and commits, so *every record* carries the
+schema version and kind; the reader refuses the whole file on any
+truncated tail, corrupt line or schema mismatch -- same posture as
+:mod:`repro.obs.jsonl`, never a silently partial history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Bumped when the history record format changes shape.
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default history file, next to the frozen BENCH_*.json baselines.
+DEFAULT_PATH = "BENCH_HISTORY.jsonl"
+
+#: Absolute per-stage slack (seconds) on top of the relative bound --
+#: sub-hundredth-of-a-second stages jitter across machines.
+ABSOLUTE_SLACK_SECONDS = 0.02
+
+
+def git_sha() -> Optional[str]:
+    """The current commit sha, or None outside a repo (advisory only)."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def make_record(
+    bench: str,
+    stages: Dict[str, float],
+    *,
+    counters: Optional[Dict[str, float]] = None,
+    peak_rss_mb: Optional[float] = None,
+    meta: Optional[Dict[str, object]] = None,
+    timestamp: Optional[float] = None,
+    sha: Optional[str] = None,
+) -> Dict[str, object]:
+    record: Dict[str, object] = {
+        "schema_version": HISTORY_SCHEMA_VERSION,
+        "kind": "bench_history",
+        "bench": str(bench),
+        "ts": round(timestamp if timestamp is not None else time.time(), 3),
+        "git_sha": sha if sha is not None else git_sha(),
+        "stages": {str(k): round(float(v), 6) for k, v in stages.items()},
+    }
+    if counters:
+        record["counters"] = {str(k): float(v) for k, v in counters.items()}
+    if peak_rss_mb is not None:
+        record["peak_rss_mb"] = round(float(peak_rss_mb), 3)
+    if meta:
+        record["meta"] = dict(meta)
+    return record
+
+
+def append_record(path: str, record: Dict[str, object]) -> Dict[str, object]:
+    """Append one record line (the only write operation the store has)."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
+def append(path: str, bench: str, stages: Dict[str, float], **kwargs) -> Dict[str, object]:
+    """Build and append a record in one call (the benchmark-side API)."""
+    return append_record(path, make_record(bench, stages, **kwargs))
+
+
+def read_history(path: str) -> List[Dict[str, object]]:
+    """Load every record, refusing the whole file on any defect."""
+    from repro.obs.jsonl import ObsFileError
+
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        raise ObsFileError(path, "empty", "empty bench history")
+    if not text.endswith("\n"):
+        raise ObsFileError(
+            path, "truncated",
+            "bench history does not end with a newline (truncated write?)",
+        )
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsFileError(
+                path, "corrupt_json",
+                f"line {lineno} is not valid JSON ({exc.msg})",
+            ) from exc
+        if not isinstance(record, dict) or record.get("kind") != "bench_history":
+            raise ObsFileError(
+                path, "wrong_kind",
+                f"line {lineno} is not a bench_history record",
+            )
+        if record.get("schema_version") != HISTORY_SCHEMA_VERSION:
+            raise ObsFileError(
+                path, "schema_mismatch",
+                f"line {lineno}: history schema "
+                f"{record.get('schema_version')!r}, expected {HISTORY_SCHEMA_VERSION}",
+            )
+        if "bench" not in record or not isinstance(record.get("stages"), dict):
+            raise ObsFileError(
+                path, "missing_field",
+                f"line {lineno}: record missing 'bench'/'stages'",
+            )
+        records.append(record)
+    return records
+
+
+# -- analysis --------------------------------------------------------------
+
+
+def stage_series(
+    records: List[Dict[str, object]], bench: Optional[str] = None
+) -> Dict[str, Dict[str, List[float]]]:
+    """``bench -> stage -> [seconds...]`` in append (chronological) order."""
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for record in records:
+        name = str(record["bench"])
+        if bench is not None and name != bench:
+            continue
+        stages = series.setdefault(name, {})
+        for stage, seconds in record["stages"].items():
+            stages.setdefault(str(stage), []).append(float(seconds))
+    return series
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def regression_check(
+    records: List[Dict[str, object]],
+    *,
+    window: int = 5,
+    max_regression: float = 0.25,
+    absolute_slack: float = ABSOLUTE_SLACK_SECONDS,
+) -> Tuple[bool, List[Dict[str, object]]]:
+    """Latest run of every stage vs the rolling median of its history.
+
+    For each ``(bench, stage)`` with at least two runs, the latest
+    timing is compared against the median of up to ``window`` preceding
+    runs; it regresses when it exceeds
+    ``median * (1 + max_regression) + absolute_slack``.  Returns
+    ``(ok, findings)`` where findings cover every checked stage (so the
+    caller can print the healthy ones too).
+    """
+    findings: List[Dict[str, object]] = []
+    ok = True
+    for bench, stages in sorted(stage_series(records).items()):
+        for stage, values in sorted(stages.items()):
+            if len(values) < 2:
+                continue
+            latest = values[-1]
+            reference = values[-1 - window:-1]
+            median = _median(reference)
+            bound = median * (1.0 + max_regression) + absolute_slack
+            regressed = latest > bound
+            if regressed:
+                ok = False
+            findings.append({
+                "bench": bench,
+                "stage": stage,
+                "latest": round(latest, 6),
+                "median": round(median, 6),
+                "bound": round(bound, 6),
+                "runs": len(values),
+                "window": len(reference),
+                "regressed": regressed,
+            })
+    return ok, findings
+
+
+def trend_lines(
+    records: List[Dict[str, object]],
+    bench: Optional[str] = None,
+    width: int = 24,
+) -> List[str]:
+    """Per-stage ASCII trend lines: each run scaled against the stage max."""
+    marks = " .:-=+*#%@"
+    lines: List[str] = []
+    for name, stages in sorted(stage_series(records, bench).items()):
+        lines.append(f"{name}:")
+        for stage, values in sorted(stages.items()):
+            tail = values[-width:]
+            top = max(tail) or 1.0
+            spark = "".join(
+                marks[min(len(marks) - 1, int(v / top * (len(marks) - 1) + 0.5))]
+                for v in tail
+            )
+            lines.append(
+                f"  {stage:<28} [{spark:<{width}}] "
+                f"last {tail[-1] * 1000:8.1f}ms  median {_median(tail) * 1000:8.1f}ms  "
+                f"n={len(values)}"
+            )
+    return lines
+
+
+def default_history_path(explicit: Optional[str] = None) -> str:
+    """The history file path: explicit flag, ``REPRO_OBS_HISTORY``, or
+    ``BENCH_HISTORY.jsonl`` in the current directory."""
+    if explicit:
+        return explicit
+    return os.environ.get("REPRO_OBS_HISTORY") or DEFAULT_PATH

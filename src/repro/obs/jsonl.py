@@ -1,0 +1,93 @@
+"""Shared paranoid JSONL loading for the observability file formats.
+
+Trace, profile and event files share one shape -- a schema-versioned
+header line followed by one JSON record per line -- and one loading
+posture, matching the artifact store's refuse-and-rebuild stance: any
+defect (truncated tail line, corrupt JSON mid-file, wrong ``kind``,
+wrong ``schema_version``, empty file) raises :class:`ObsFileError`
+naming the path, the line and the reason.  A reader never returns a
+partial tree silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+
+class ObsFileError(ValueError):
+    """An observability JSONL file was rejected; ``reason`` is a stable
+    machine-readable slug, the message carries the human detail."""
+
+    def __init__(self, path: str, reason: str, detail: str):
+        super().__init__(f"{path}: {detail} [{reason}]")
+        self.path = path
+        self.reason = reason
+
+
+def read_records(
+    path: str,
+    kind: str,
+    schema_version: int,
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """Load and validate ``(header, records)`` from a JSONL file.
+
+    Every line must parse as a JSON object; the final line must be
+    newline-terminated (a missing terminator is the signature of a
+    truncated write, and the partial record it hides must not be
+    half-trusted); the header must carry the expected ``kind`` and
+    ``schema_version``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        raise ObsFileError(path, "empty", f"empty {kind} file")
+    if not text.endswith("\n"):
+        raise ObsFileError(
+            path, "truncated",
+            f"{kind} file does not end with a newline (truncated write?)",
+        )
+    records: List[Dict[str, object]] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ObsFileError(
+                path, "corrupt_json",
+                f"line {lineno} is not valid JSON ({exc.msg})",
+            ) from exc
+        if not isinstance(record, dict):
+            raise ObsFileError(
+                path, "not_an_object",
+                f"line {lineno} is a {type(record).__name__}, expected an object",
+            )
+        records.append(record)
+    header = records[0]
+    if header.get("kind") != kind:
+        raise ObsFileError(
+            path, "wrong_kind",
+            f"not a {kind} file (kind={header.get('kind')!r})",
+        )
+    if header.get("schema_version") != schema_version:
+        raise ObsFileError(
+            path, "schema_mismatch",
+            f"{kind} schema {header.get('schema_version')!r}, "
+            f"expected {schema_version}",
+        )
+    return header, records[1:]
+
+
+def header_line(kind: str, schema_version: int, context: Dict[str, object] | None = None) -> str:
+    """The serialized header line every obs JSONL file starts with."""
+    from repro.reporting import GENERATED_BY
+
+    header: Dict[str, object] = {
+        "schema_version": schema_version,
+        "kind": kind,
+        "generated_by": GENERATED_BY,
+    }
+    if context:
+        header.update(context)
+    return json.dumps(header, sort_keys=True)

@@ -49,16 +49,29 @@ _ENABLED = False
 _ROOT: Optional["Span"] = None
 _TLS = threading.local()
 
+#: Every thread's live span stack, keyed by thread ident, so the sampling
+#: profiler can attribute a stack sample to the deepest open span of the
+#: thread it sampled.  Thread-locals are unreadable cross-thread; this
+#: registry shares the *same list objects* as ``_TLS.stack``, and single
+#: reads of a list under the GIL are safe without a lock.
+_THREAD_STACKS: Dict[int, List["Span"]] = {}
+
 
 class Span:
     """One timed, tagged node in the trace tree."""
 
-    __slots__ = ("name", "tags", "duration_ms", "children", "metrics", "_t0", "_counters0")
+    __slots__ = (
+        "name", "tags", "duration_ms", "cpu_ms", "children", "metrics",
+        "_t0", "_counters0",
+    )
 
     def __init__(self, name: str, tags: Optional[Dict[str, object]] = None):
         self.name = name
         self.tags: Dict[str, object] = tags or {}
         self.duration_ms: float = 0.0
+        #: CPU self-time credited by the sampling profiler (sample count
+        #: times sampling interval); stays 0.0 when no profiler ran.
+        self.cpu_ms: float = 0.0
         self.children: List[Span] = []
         #: Counter delta accrued while the span was open (inclusive).
         self.metrics: Dict[str, float] = {}
@@ -98,6 +111,7 @@ class Span:
             "name": self.name,
             "tags": self.tags,
             "dur_ms": self.duration_ms,
+            "cpu_ms": self.cpu_ms,
             "metrics": self.metrics,
             "children": [child.to_dict() for child in self.children],
         }
@@ -106,6 +120,7 @@ class Span:
     def from_dict(cls, data: Dict[str, object]) -> "Span":
         span = cls(str(data["name"]), dict(data.get("tags") or {}))
         span.duration_ms = float(data.get("dur_ms") or 0.0)
+        span.cpu_ms = float(data.get("cpu_ms") or 0.0)
         span.metrics = dict(data.get("metrics") or {})
         span.children = [cls.from_dict(child) for child in data.get("children") or []]
         return span
@@ -141,7 +156,13 @@ def _stack() -> List[Span]:
     stack = getattr(_TLS, "stack", None)
     if stack is None:
         stack = _TLS.stack = []
+        _THREAD_STACKS[threading.get_ident()] = stack
     return stack
+
+
+def thread_stacks() -> Dict[int, List[Span]]:
+    """The live per-thread span stacks (profiler read surface)."""
+    return _THREAD_STACKS
 
 
 def enabled() -> bool:
@@ -275,6 +296,7 @@ def merge_chunk_spans(chunks: List[Dict[str, object]]) -> Dict[str, object]:
     merged["tags"] = {k: v for k, v in (chunks[0].get("tags") or {}).items() if k != "chunk"}
     merged["children"] = [child for chunk in chunks for child in chunk.get("children") or []]
     merged["dur_ms"] = sum(float(chunk.get("dur_ms") or 0.0) for chunk in chunks)
+    merged["cpu_ms"] = sum(float(chunk.get("cpu_ms") or 0.0) for chunk in chunks)
     totals: Dict[str, float] = {}
     for chunk in chunks:
         for key, amount in (chunk.get("metrics") or {}).items():
@@ -312,6 +334,7 @@ def write_jsonl(path: str, root: Span, context: Optional[Dict[str, object]] = No
                 "tags": span.tags,
                 "dur_ms": round(span.duration_ms, 3),
                 "self_ms": round(span.self_ms(), 3),
+                "cpu_ms": round(span.cpu_ms, 3),
                 "metrics": span.metrics,
             }, sort_keys=True) + "\n")
             for child in span.children:
@@ -321,33 +344,42 @@ def write_jsonl(path: str, root: Span, context: Optional[Dict[str, object]] = No
 
 
 def read_jsonl(path: str) -> Tuple[Dict[str, object], Span]:
-    """Validate and load a trace file back into (header, root span)."""
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = [json.loads(line) for line in handle if line.strip()]
-    if not lines:
-        raise ValueError(f"{path}: empty trace file")
-    header = lines[0]
-    if header.get("kind") != "trace":
-        raise ValueError(f"{path}: not a trace file (kind={header.get('kind')!r})")
-    if header.get("schema_version") != TRACE_SCHEMA_VERSION:
-        raise ValueError(
-            f"{path}: trace schema {header.get('schema_version')!r}, "
-            f"expected {TRACE_SCHEMA_VERSION}"
-        )
+    """Validate and load a trace file back into (header, root span).
+
+    Shares the paranoid posture of :mod:`repro.obs.jsonl`: truncated,
+    corrupt or schema-mismatched files raise
+    :class:`~repro.obs.jsonl.ObsFileError` -- never a partial tree.
+    """
+    from repro.obs.jsonl import ObsFileError, read_records
+
+    header, records = read_records(path, "trace", TRACE_SCHEMA_VERSION)
     spans: Dict[int, Span] = {}
     root: Optional[Span] = None
-    for record in lines[1:]:
+    for record in records:
+        if "name" not in record or "id" not in record:
+            raise ObsFileError(
+                path, "missing_field",
+                f"span record missing 'id'/'name': {record!r:.120}",
+            )
         span_ = Span(str(record["name"]), dict(record.get("tags") or {}))
         span_.duration_ms = float(record.get("dur_ms") or 0.0)
+        span_.cpu_ms = float(record.get("cpu_ms") or 0.0)
         span_.metrics = dict(record.get("metrics") or {})
         spans[int(record["id"])] = span_
         parent = record.get("parent")
         if parent is None:
+            if root is not None:
+                raise ObsFileError(path, "multiple_roots", "trace file has multiple roots")
             root = span_
         else:
+            if int(parent) not in spans:
+                raise ObsFileError(
+                    path, "dangling_parent",
+                    f"span {record['id']} references unknown parent {parent}",
+                )
             spans[int(parent)].children.append(span_)
     if root is None:
-        raise ValueError(f"{path}: trace file has no root span")
+        raise ObsFileError(path, "no_root", "trace file has no root span")
     return header, root
 
 
@@ -355,13 +387,17 @@ def read_jsonl(path: str) -> Tuple[Dict[str, object], Span]:
 
 
 def hotspots(root: Span, top: int = 10) -> List[Dict[str, object]]:
-    """Top span names by aggregate self time."""
+    """Top span names by aggregate self time (plus sampled CPU self-time
+    when a profiler ran alongside the trace)."""
     totals: Dict[str, Dict[str, float]] = {}
     for node in root.walk():
-        entry = totals.setdefault(node.name, {"count": 0, "total_ms": 0.0, "self_ms": 0.0})
+        entry = totals.setdefault(
+            node.name, {"count": 0, "total_ms": 0.0, "self_ms": 0.0, "cpu_ms": 0.0}
+        )
         entry["count"] += 1
         entry["total_ms"] += node.duration_ms
         entry["self_ms"] += node.self_ms()
+        entry["cpu_ms"] += node.cpu_ms
     ranked = sorted(totals.items(), key=lambda item: (-item[1]["self_ms"], item[0]))
     return [
         {
@@ -369,6 +405,7 @@ def hotspots(root: Span, top: int = 10) -> List[Dict[str, object]]:
             "count": int(entry["count"]),
             "total_ms": round(entry["total_ms"], 3),
             "self_ms": round(entry["self_ms"], 3),
+            "cpu_ms": round(entry["cpu_ms"], 3),
         }
         for name, entry in ranked[:top]
     ]
@@ -392,7 +429,11 @@ def tree_lines(root: Span, max_depth: int = 4, max_children: int = 8) -> List[st
     def render(span: Span, depth: int) -> None:
         tags = " ".join(f"{k}={v}" for k, v in sorted(span.tags.items(), key=lambda kv: str(kv[0])))
         label = f"{span.name}" + (f" [{tags}]" if tags else "")
-        lines.append(f"{'  ' * depth}{label}  {span.duration_ms:.1f}ms (self {span.self_ms():.1f}ms)")
+        cpu = f", cpu {span.cpu_ms:.1f}ms" if span.cpu_ms else ""
+        lines.append(
+            f"{'  ' * depth}{label}  {span.duration_ms:.1f}ms"
+            f" (self {span.self_ms():.1f}ms{cpu})"
+        )
         if depth + 1 > max_depth:
             if span.children:
                 lines.append(f"{'  ' * (depth + 1)}... {len(span.children)} children elided")

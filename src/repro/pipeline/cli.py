@@ -80,7 +80,10 @@ from repro.pipeline.core import (
 
 #: The subcommand names; an argv starting with one routes to the
 #: subcommand parser, anything else through the legacy flat-flag shim.
-SUBCOMMANDS = ("compress", "verify", "failures", "delta", "store", "serve", "trace")
+SUBCOMMANDS = (
+    "compress", "verify", "failures", "delta", "store", "serve", "trace",
+    "profile", "bench",
+)
 
 #: Legacy spelling -> replacement hint, for the one-per-invocation
 #: deprecation warnings the shim emits.
@@ -371,6 +374,27 @@ def _trace_argument(parser: argparse.ArgumentParser) -> None:
         "executors, parent-linked, with per-span metric deltas) as "
         "schema-versioned JSONL; inspect with 'trace summarize PATH'",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="sample the run with the span-scoped profiler and write the "
+        "profile as schema-versioned JSONL; render a flamegraph with "
+        "'profile flamegraph PATH'",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the structured event stream (sweep/class/steal/split/"
+        "spill/fallback/store events) as schema-versioned JSONL",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="render a live progress meter on stderr (ETA from the cost "
+        "model's per-class estimates)",
+    )
 
 
 def _output_arguments(parser: argparse.ArgumentParser) -> None:
@@ -595,6 +619,11 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
         "--syntactic", action="store_true",
         help="use syntactic policy keys instead of BDDs",
     )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="reject queries with 503 + Retry-After once N are in flight "
+        "(default: unbounded)",
+    )
     _trace_argument(serve)
 
     trace_cmd = commands.add_parser(
@@ -613,6 +642,65 @@ def build_subcommand_parser() -> argparse.ArgumentParser:
     trace_summarize.add_argument(
         "--max-depth", type=int, default=4,
         help="span tree depth to render (default 4)",
+    )
+
+    profile_cmd = commands.add_parser(
+        "profile",
+        help="inspect sampling-profiler files written by --profile",
+    )
+    profile_commands = profile_cmd.add_subparsers(dest="profile_command", required=True)
+    profile_flame = profile_commands.add_parser(
+        "flamegraph",
+        help="render a profile as collapsed-stack 'folded' lines "
+        "(flamegraph.pl / speedscope / inferno input)",
+    )
+    profile_flame.add_argument("path", help="profile JSONL file (from --profile)")
+    profile_flame.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the folded lines here instead of stdout",
+    )
+    profile_summarize = profile_commands.add_parser(
+        "summarize", help="print a profile's hottest leaf frames"
+    )
+    profile_summarize.add_argument("path", help="profile JSONL file (from --profile)")
+    profile_summarize.add_argument(
+        "--top", type=int, default=10, help="frames to show (default 10)"
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="inspect the append-only benchmark history",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_history = bench_commands.add_parser(
+        "history",
+        help="print per-stage trend lines from BENCH_HISTORY.jsonl and "
+        "check the latest run against a rolling median",
+    )
+    bench_history.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="history file (default: $REPRO_OBS_HISTORY or ./BENCH_HISTORY.jsonl)",
+    )
+    bench_history.add_argument(
+        "--bench", default=None,
+        help="only this benchmark (default: all recorded benchmarks)",
+    )
+    bench_history.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any stage's latest run regresses past the "
+        "rolling median bound",
+    )
+    bench_history.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-median window: preceding runs per stage (default 5)",
+    )
+    bench_history.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fraction over the rolling median (default 0.25)",
+    )
+    bench_history.add_argument(
+        "--absolute-slack", type=float, default=None, metavar="SECONDS",
+        help="absolute slack added to every bound (default 0.02s)",
     )
 
     return parser
@@ -1111,16 +1199,31 @@ def _run_store(args) -> int:
         )
         return 1
     print(json.dumps(meta, indent=2, sort_keys=True))
+    from repro.store.store import refusal_counts
+
     try:
         artifact = store.load(fingerprint)
     except StoreError as exc:
         print(f"entry REFUSED: {exc}", file=sys.stderr)
+        refusals = refusal_counts()
+        if refusals:
+            print(
+                "refusals this process: "
+                + ", ".join(f"{reason}={count}" for reason, count in refusals.items()),
+                file=sys.stderr,
+            )
         return 1
     stats = artifact.stats()
     print(
         f"entry verifies: {stats['num_classes']} classes, "
         f"{stats['compressed_classes']} compressed"
     )
+    refusals = refusal_counts()
+    if refusals:
+        print(
+            "refusals this process: "
+            + ", ".join(f"{reason}={count}" for reason, count in refusals.items())
+        )
     costs = store.load_costs(fingerprint)
     for task_path, block in sorted(costs.get("tasks", {}).items()):
         print(
@@ -1143,7 +1246,12 @@ def _run_serve(args) -> int:
     family = families[0]
     size = args.size if args.size is not None else default_size(family)
     network = build_topology(family, size)
-    service = warm_service(network, store=args.store, use_bdds=not args.syntactic)
+    service = warm_service(
+        network,
+        store=args.store,
+        use_bdds=not args.syntactic,
+        max_inflight=getattr(args, "max_inflight", None),
+    )
     if args.store and service.session.rebuilt:
         reason = service.session.rebuild_reason or "no stored entry"
         print(f"rebuilt baseline into {args.store}: {reason}")
@@ -1167,16 +1275,103 @@ def _run_trace(args) -> int:
         print(f"  {line}")
     print(f"hotspots (top {args.top} by self time):")
     for row in info["hotspots"]:
+        cpu = (
+            f", cpu {row['cpu_ms']:.1f}ms" if row.get("cpu_ms") else ""
+        )
         print(
             f"  {row['name']}: {row['self_ms']:.1f}ms self / "
-            f"{row['total_ms']:.1f}ms total over {row['count']} span(s)"
+            f"{row['total_ms']:.1f}ms total over {row['count']} span(s){cpu}"
         )
+    return 0
+
+
+def _run_profile(args) -> int:
+    from repro.obs import profile as _profile
+    from repro.obs.jsonl import ObsFileError
+
+    try:
+        header, records = _profile.read_jsonl(args.path)
+    except (OSError, ObsFileError) as exc:
+        print(f"error: cannot read profile {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.profile_command == "flamegraph":
+        lines = _profile.folded_lines(records)
+        if args.out:
+            if not _write_output(args.out, "\n".join(lines)):
+                return 1
+        else:
+            for line in lines:
+                print(line)
+        return 0
+    # profile summarize
+    print(
+        f"profile: {args.path} ({header.get('sample_count', 0)} samples @ "
+        f"{header.get('interval_ms', '?')}ms, schema v{header.get('schema_version')})"
+    )
+    print(f"hottest leaf frames (top {args.top} by samples):")
+    for row in _profile.summary(records, top=args.top):
+        print(f"  {row['frame']}: {row['samples']} samples")
+    return 0
+
+
+def _run_bench(args) -> int:
+    # bench history: trend lines + rolling-median regression check.
+    from repro.obs import history as _history
+    from repro.obs.jsonl import ObsFileError
+
+    path = _history.default_history_path(args.history)
+    try:
+        records = _history.read_history(path)
+    except OSError as exc:
+        print(f"error: cannot read bench history {path}: {exc}", file=sys.stderr)
+        return 2
+    except ObsFileError as exc:
+        print(f"error: bench history refused: {exc}", file=sys.stderr)
+        return 2
+    if args.bench:
+        records = [r for r in records if r["bench"] == args.bench]
+        if not records:
+            print(f"error: no runs of {args.bench!r} in {path}", file=sys.stderr)
+            return 2
+    print(f"bench history: {path} ({len(records)} runs)")
+    for line in _history.trend_lines(records, bench=args.bench):
+        print(f"  {line}")
+    slack = (
+        args.absolute_slack
+        if args.absolute_slack is not None
+        else _history.ABSOLUTE_SLACK_SECONDS
+    )
+    ok, findings = _history.regression_check(
+        records,
+        window=args.window,
+        max_regression=args.max_regression,
+        absolute_slack=slack,
+    )
+    regressed = [f for f in findings if f["regressed"]]
+    print(
+        f"rolling-median check (window {args.window}, "
+        f"+{args.max_regression * 100:.0f}% +{slack}s): "
+        f"{len(findings)} stages checked, {len(regressed)} regressed"
+    )
+    for finding in regressed:
+        print(
+            f"  REGRESSED {finding['bench']}/{finding['stage']}: "
+            f"latest {finding['latest']:.4f}s vs median {finding['median']:.4f}s "
+            f"(bound {finding['bound']:.4f}s over {finding['window']} runs)",
+            file=sys.stderr,
+        )
+    if args.check and not ok:
+        return 1
     return 0
 
 
 def _dispatch_subcommand(args) -> int:
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "store":
         return _run_store(args)
     if args.command == "serve":
@@ -1289,14 +1484,98 @@ def _legacy_main(argv: List[str]) -> int:
         return 1
 
 
+def _begin_obs(args) -> dict:
+    """Start the requested observability instruments for one invocation.
+
+    ``--trace`` and ``--profile`` both need span collection (the profiler
+    attributes samples to the active span), so either begins a trace;
+    the trace file is only written back for ``--trace``.  With none of
+    the flags set nothing is constructed -- the disabled path stays the
+    null-instrument fast path the ``obs_overhead`` gate measures.
+    """
+    import os
+
+    if os.environ.get("REPRO_OBS_DISABLE_METRICS"):
+        from repro.obs import metrics as _metrics
+
+        _metrics.disable()
+    state = {
+        "trace_path": getattr(args, "trace", None),
+        "profile_path": getattr(args, "profile", None),
+        "profiler": None,
+        "writer": None,
+        "meter": None,
+        "command": args.command,
+    }
+    if state["trace_path"] or state["profile_path"]:
+        trace.begin("run", command=args.command)
+    if state["profile_path"]:
+        from repro.obs.profile import SamplingProfiler
+
+        state["profiler"] = SamplingProfiler().start()
+    events_path = getattr(args, "events", None)
+    if events_path:
+        from repro.obs.events import EventWriter
+
+        state["writer"] = EventWriter(events_path, context={"command": args.command})
+    if getattr(args, "progress", False):
+        from repro.obs.events import ProgressMeter
+
+        state["meter"] = ProgressMeter()
+    return state
+
+
+def _finish_obs(state: dict) -> None:
+    """Stop instruments and write their files (profiler first, so sampled
+    CPU self-time lands in the trace written after it)."""
+    profiler = state["profiler"]
+    if profiler is not None:
+        profiler.stop()
+    if state["meter"] is not None:
+        state["meter"].close()
+    if state["writer"] is not None:
+        state["writer"].close()
+        print(f"  events written to {state['writer'].path}")
+    root = None
+    if state["trace_path"] or state["profile_path"]:
+        root = trace.end()
+    if state["trace_path"] and root is not None:
+        try:
+            trace.write_jsonl(
+                state["trace_path"], root, context={"command": state["command"]}
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write trace to {state['trace_path']}: {exc}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"  trace written to {state['trace_path']}")
+    if state["profile_path"] and profiler is not None:
+        from repro.obs import profile as _profile
+
+        try:
+            _profile.write_jsonl(
+                state["profile_path"], profiler, context={"command": state["command"]}
+            )
+        except OSError as exc:
+            print(
+                f"error: cannot write profile to {state['profile_path']}: {exc}",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"  profile written to {state['profile_path']} "
+                f"({profiler.sample_count} samples)"
+            )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     try:
         if argv and argv[0] in SUBCOMMANDS:
             args = build_subcommand_parser().parse_args(argv)
-            trace_path = getattr(args, "trace", None)
-            if trace_path:
-                trace.begin("run", command=args.command)
+            obs_state = _begin_obs(args)
             try:
                 return _dispatch_subcommand(args)
             except ValueError as exc:
@@ -1306,20 +1585,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"verification timed out: {exc}", file=sys.stderr)
                 return 1
             finally:
-                if trace_path:
-                    root = trace.end()
-                    if root is not None:
-                        try:
-                            trace.write_jsonl(
-                                trace_path, root, context={"command": args.command}
-                            )
-                        except OSError as exc:
-                            print(
-                                f"error: cannot write trace to {trace_path}: {exc}",
-                                file=sys.stderr,
-                            )
-                        else:
-                            print(f"  trace written to {trace_path}")
+                _finish_obs(obs_state)
         return _legacy_main(argv)
     except SystemExit as exc:  # argparse --help / usage errors
         code = exc.code

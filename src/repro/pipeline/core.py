@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.abstraction.bonsai import Bonsai, CompressionResult
 from repro.abstraction.ec import EquivalenceClass
 from repro.config.network import Network
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace
 from repro.pipeline.encoded import EncodedNetwork
@@ -373,6 +374,9 @@ class ClassFanOut:
         artifact, classes = self.prepare()
         self.last_unit_seconds = {}
         self.last_unit_counts = {}
+        sweep_t0 = time.perf_counter()
+        if _events.enabled():
+            self._emit_sweep_start(classes)
 
         stealing = (
             self.executor == "process"
@@ -403,10 +407,48 @@ class ClassFanOut:
                 )
         self._finalize_unit_obs(merge_metrics=self.executor == "process")
         self._record_costs()
+        _events.emit(
+            "sweep.end",
+            task=self.task,
+            network=self.network.name,
+            classes=len(classes),
+            seconds=round(time.perf_counter() - sweep_t0, 6),
+        )
 
         if not collect:
             return None
         return [result for _, result in sorted(indexed_results, key=lambda p: p[0])]
+
+    def _emit_sweep_start(self, classes: Sequence[EquivalenceClass]) -> None:
+        """The ``sweep.start`` event, carrying the cost model's per-class
+        estimates (warm ``costs.json`` numbers when available, the
+        structural heuristic otherwise) so the progress meter's ETA is
+        cost-weighted, not count-weighted.  Only built when someone is
+        listening -- the cost lookup is not free."""
+        from repro.pipeline import shard as _shard
+
+        try:
+            known = _shard.lookup_costs(
+                self.network_fingerprint(), self.task, self.cost_store
+            )
+        except Exception:
+            known = {}
+        costs = {
+            str(ec.prefix): round(
+                known.get(str(ec.prefix), _shard.heuristic_cost(ec)), 6
+            )
+            for ec in classes
+        }
+        _events.emit(
+            "sweep.start",
+            task=self.task,
+            network=self.network.name,
+            executor=self.executor,
+            scheduler=self.scheduler,
+            workers=1 if self.executor == "serial" else self.workers,
+            classes=len(classes),
+            costs=costs,
+        )
 
     def _note_unit(
         self,
@@ -422,6 +464,13 @@ class ClassFanOut:
             self.last_unit_seconds.get(prefix, 0.0) + seconds
         )
         self.last_unit_counts[prefix] = self.last_unit_counts.get(prefix, 0) + 1
+        _events.emit(
+            "class.completed",
+            task=self.task,
+            index=index,
+            cls=prefix,
+            seconds=round(seconds, 6),
+        )
         if on_result is not None:
             on_result(index, result, seconds)
         if out is not None:

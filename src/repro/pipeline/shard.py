@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.abstraction.ec import EquivalenceClass
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 from repro.obs import trace
 from repro.pipeline import core as _core
@@ -404,9 +405,26 @@ class ShardCoordinator:
             _metrics.counter("shard.warm_plans").inc()
         # Bundles beyond one per worker are pulled by whichever worker
         # drains its queue first -- the "stolen" share of the schedule.
-        _metrics.counter("shard.steals").inc(
-            max(0, len(bundles) - min(self.workers, len(bundles)))
-        )
+        stolen = max(0, len(bundles) - min(self.workers, len(bundles)))
+        _metrics.counter("shard.steals").inc(stolen)
+        if _events.enabled():
+            for index in sorted({u.index for u in units if u.chunks > 1}):
+                chunks = max(u.chunks for u in units if u.index == index)
+                _events.emit(
+                    "class.split",
+                    task=self.task_path,
+                    index=index,
+                    cls=str(self.classes[index].prefix),
+                    chunks=chunks,
+                )
+            if stolen:
+                _events.emit(
+                    "units.stolen",
+                    task=self.task_path,
+                    bundles=len(bundles),
+                    workers=self.workers,
+                    stolen=stolen,
+                )
         return bundles
 
     # ------------------------------------------------------------------
@@ -437,6 +455,17 @@ class ShardCoordinator:
 
         def finish(index: int, unit: WorkUnit, record: object) -> None:
             prefix = str(unit.equivalence_class.prefix)
+            # The stealing coordinator bypasses ClassFanOut._note_unit, so
+            # it owns the per-class completion event here -- same shape,
+            # once per class (after chunk re-merge), keeping the stream's
+            # ordered completion set identical across executors.
+            _events.emit(
+                "class.completed",
+                task=self.task_path,
+                index=index,
+                cls=prefix,
+                seconds=round(self.observed_seconds.get(prefix, 0.0), 6),
+            )
             if on_result is not None:
                 on_result(index, record, self.observed_seconds.get(prefix, 0.0))
             if results is not None:

@@ -22,6 +22,7 @@ import os
 import tempfile
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
 
 
@@ -65,6 +66,9 @@ class RecordSpill:
         self._handle.write(line)
         self._handle.write("\n")
         size = len(line.encode("utf-8"))
+        if not self._entries:
+            # One event per spill activation (per-record would be noise).
+            _events.emit("spill.open", path=self.path)
         self._entries.append((index, offset, size))
         _metrics.counter("pipeline.spill_records").inc()
         _metrics.counter("pipeline.spill_bytes").inc(size + 1)
@@ -94,6 +98,8 @@ class RecordSpill:
         if self._closed:
             return
         self._closed = True
+        if self._entries:
+            _events.emit("spill.close", path=self.path, records=len(self._entries))
         try:
             self._handle.close()
         finally:

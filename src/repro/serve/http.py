@@ -9,6 +9,7 @@ endpoint              method  body / answer
 ``/health``           GET     service identity and warm-baseline stats
 ``/stats``            GET     per-kind query latency percentiles
 ``/metrics``          GET     Prometheus text exposition (global + serve)
+``/events``           GET     ``?cursor=N&timeout=S`` -> events since N
 ``/verify``           POST    ``{"prefix"?, "properties"?}`` -> report dict
 ``/delta``            POST    ``{"script": [...], "revalidate"?}`` -> report
 ``/failures``         POST    ``{"k"?, "sample"?, "properties"?}`` -> report
@@ -18,17 +19,20 @@ endpoint              method  body / answer
 Every report answer carries the shared envelope (``schema_version`` /
 ``kind`` / ``ok`` / ``generated_by``), so clients gate on ``ok`` without
 knowing the report kind.  Malformed requests get 400 with a diagnostic;
-unexpected errors get 500; both as JSON.
+unexpected errors get 500; both as JSON.  Query endpoints count toward
+the service's in-flight bound (``--max-inflight``); past it they get
+``503`` with a ``Retry-After`` header instead of another queued thread.
 """
 
 from __future__ import annotations
 
 import json
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.delta.changeset import ChangeError
-from repro.serve.service import VerificationService
+from repro.serve.service import ServiceSaturated, VerificationService
 
 #: Request bodies above this size are rejected (a change script of
 #: thousands of steps is a client bug, not a workload).
@@ -84,9 +88,26 @@ class ServeHandler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return data
 
-    def _dispatch(self, handler) -> None:
+    def _dispatch(self, handler, kind: Optional[str] = None) -> None:
         try:
-            self._send_json(200, handler())
+            if kind is not None:
+                with self.service.track_request(kind):
+                    payload = handler()
+            else:
+                payload = handler()
+            self._send_json(200, payload)
+        except ServiceSaturated as exc:
+            body = json.dumps({
+                "ok": False,
+                "error": str(exc),
+                "retry_after": exc.retry_after_seconds,
+            }).encode("utf-8")
+            self.send_response(503)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", str(exc.retry_after_seconds))
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         except (ValueError, KeyError, TypeError, ChangeError) as exc:
             self._send_json(400, {"ok": False, "error": str(exc)})
         except Exception as exc:  # pragma: no cover - defensive
@@ -96,6 +117,17 @@ class ServeHandler(BaseHTTPRequestHandler):
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        parsed = urllib.parse.urlsplit(self.path)
+        if parsed.path == "/events":
+            query = urllib.parse.parse_qs(parsed.query)
+
+            def events() -> dict:
+                cursor = int((query.get("cursor") or ["0"])[0])
+                timeout = float((query.get("timeout") or ["0"])[0])
+                return self.service.events_since(cursor, timeout=timeout)
+
+            self._dispatch(events)
+            return
         if self.path == "/health":
             self._dispatch(self.service.health)
         elif self.path == "/stats":
@@ -116,14 +148,16 @@ class ServeHandler(BaseHTTPRequestHandler):
                 lambda: self.service.verify(
                     prefix=self._body.get("prefix"),
                     properties=self._body.get("properties"),
-                )
+                ),
+                kind="verify",
             )
         elif self.path == "/delta":
             self._dispatch(
                 lambda: self.service.delta(
                     script=self._require(self._body, "script"),
                     revalidate=bool(self._body.get("revalidate", True)),
-                )
+                ),
+                kind="delta",
             )
         elif self.path == "/failures":
             self._dispatch(
@@ -131,7 +165,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                     k=int(self._body.get("k", 1)),
                     sample=self._body.get("sample"),
                     properties=self._body.get("properties"),
-                )
+                ),
+                kind="failures",
             )
         elif self.path == "/k-resilience":
             self._dispatch(
@@ -139,7 +174,8 @@ class ServeHandler(BaseHTTPRequestHandler):
                     max_k=int(self._body.get("max_k", 2)),
                     prop=str(self._body.get("property", "reachability")),
                     sample=self._body.get("sample"),
-                )
+                ),
+                kind="k_resilience",
             )
         else:
             self._send_json(404, {"ok": False, "error": f"unknown path {self.path!r}"})
@@ -210,10 +246,13 @@ def warm_service(
     baseline=None,
     use_bdds: bool = True,
     answer_cache_limit: Optional[int] = None,
+    max_inflight: Optional[int] = None,
 ) -> VerificationService:
     """Build (or load) a warm session and wrap it in a service."""
     from repro.api import Session
 
     session = Session(network, baseline=baseline, store=store, use_bdds=use_bdds)
     kwargs = {} if answer_cache_limit is None else {"answer_cache_limit": answer_cache_limit}
+    if max_inflight is not None:
+        kwargs["max_inflight"] = max_inflight
     return VerificationService(session, **kwargs)

@@ -20,12 +20,15 @@ from __future__ import annotations
 import json
 import threading
 import time
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import perfutil
 from repro.api import Session
 from repro.delta.changeset import ChangeSet, change_from_dict
+from repro.obs import events as _events
 from repro.obs import metrics as _metrics
+from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 
 #: Bound on the memoised verify answers (distinct (prefix, properties)
@@ -33,6 +36,26 @@ from repro.obs.metrics import MetricsRegistry
 DEFAULT_ANSWER_CACHE_LIMIT = 256
 
 _LATENCY_PREFIX = "serve.latency."
+
+
+class ServiceSaturated(RuntimeError):
+    """The service is at its in-flight bound; the caller should retry.
+
+    The HTTP layer maps this to ``503`` with a ``Retry-After`` header --
+    saturation is bounded and observable instead of silently queueing a
+    thread per connection until the process keels over.
+    """
+
+    retry_after_seconds = 1
+
+    def __init__(self, kind: str, inflight: int, limit: int):
+        super().__init__(
+            f"service saturated: {inflight} requests in flight (limit {limit}); "
+            f"retry {kind!r} shortly"
+        )
+        self.kind = kind
+        self.inflight = inflight
+        self.limit = limit
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -131,6 +154,8 @@ class VerificationService:
         self,
         session: Session,
         answer_cache_limit: int = DEFAULT_ANSWER_CACHE_LIMIT,
+        max_inflight: Optional[int] = None,
+        event_log_capacity: Optional[int] = None,
     ) -> None:
         self.session = session
         self.stats = QueryStats()
@@ -142,6 +167,47 @@ class VerificationService:
         self._cache_lock = threading.Lock()
         self._cache_limit = answer_cache_limit
         self._answers: Dict[object, Dict] = {}
+        #: Total concurrent queries this service accepts; ``None``/0
+        #: means unbounded (the historical behaviour).
+        self.max_inflight = max_inflight if max_inflight and max_inflight > 0 else None
+        self._inflight_lock = threading.Lock()
+        self._inflight: Dict[str, int] = {}
+        #: Recent structured events, served via ``/events`` long polls.
+        self.event_log = EventLog(event_log_capacity)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    @contextmanager
+    def track_request(self, kind: str):
+        """Count one in-flight request of ``kind`` (per-endpoint gauge);
+        refuse with :class:`ServiceSaturated` at the in-flight bound."""
+        with self._inflight_lock:
+            total = sum(self._inflight.values())
+            if self.max_inflight is not None and total >= self.max_inflight:
+                self.registry.counter(f"serve.rejected.{kind}").inc()
+                raise ServiceSaturated(kind, total, self.max_inflight)
+            self._inflight[kind] = self._inflight.get(kind, 0) + 1
+            self.registry.gauge(f"serve.inflight.{kind}").set(self._inflight[kind])
+        try:
+            yield
+        finally:
+            with self._inflight_lock:
+                self._inflight[kind] -= 1
+                self.registry.gauge(f"serve.inflight.{kind}").set(self._inflight[kind])
+
+    def inflight_snapshot(self) -> Dict[str, int]:
+        with self._inflight_lock:
+            return dict(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Event stream
+    # ------------------------------------------------------------------
+    def events_since(self, cursor: int = 0, timeout: float = 0.0) -> Dict[str, object]:
+        """Events after ``cursor`` (long-polling up to ``timeout`` s)."""
+        payload = self.event_log.since(cursor, timeout=min(max(timeout, 0.0), 30.0))
+        payload["ok"] = True
+        return payload
 
     # ------------------------------------------------------------------
     # Introspection
@@ -184,6 +250,10 @@ class VerificationService:
             "queries": self.stats.summary(),
             "process": {"peak_rss_mb": round(rss, 3)},
             "answer_cache": self._answer_cache_info(),
+            "inflight": {
+                "limit": self.max_inflight,
+                "by_kind": self.inflight_snapshot(),
+            },
         }
 
     def metrics_text(self) -> str:
@@ -206,6 +276,11 @@ class VerificationService:
             if len(self._answers) >= self._cache_limit:
                 self._answers.clear()
                 self.registry.counter("serve.answer_cache.overflows").inc()
+                _events.emit(
+                    "cache.overflow",
+                    cache="serve.answer_cache",
+                    limit=self._cache_limit,
+                )
             self._answers[key] = answer
         return answer
 

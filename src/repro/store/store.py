@@ -30,6 +30,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.config.network import Network
+from repro.obs import events as _events
+from repro.obs import metrics as _metrics
 from repro.store.artifact import ARTIFACT_SCHEMA_VERSION, BaselineArtifact
 from repro.store.fingerprint import network_fingerprint
 
@@ -48,7 +50,42 @@ _COSTS_NAME = "costs.json"
 
 
 class StoreError(Exception):
-    """A store entry is missing, corrupt or foreign; callers rebuild."""
+    """A store entry is missing, corrupt or foreign; callers rebuild.
+
+    ``reason`` is a stable machine-readable slug (``missing``,
+    ``checksum_mismatch``, ...) that labels the ``store.refused.<reason>``
+    counter and the structured ``store.refused`` event, so refusals are
+    observable instead of silently dissolving into rebuilds.
+    """
+
+    def __init__(self, message: str, reason: str = "unknown"):
+        super().__init__(message)
+        self.reason = reason
+
+
+def _refuse(fingerprint: str, reason: str, detail: str) -> "StoreError":
+    """Count, announce and build (not raise) one load refusal."""
+    _metrics.counter(f"store.refused.{reason}").inc()
+    _events.emit(
+        "store.refused",
+        fingerprint=str(fingerprint)[:12],
+        reason=reason,
+        detail=detail,
+    )
+    return StoreError(detail, reason)
+
+
+def refusal_counts(counters: Optional[Dict[str, float]] = None) -> Dict[str, int]:
+    """This process's ``store.refused.<reason>`` counters, keyed by
+    reason slug (what ``store info`` surfaces)."""
+    if counters is None:
+        counters = _metrics.collect()["counters"]
+    prefix = "store.refused."
+    return {
+        key[len(prefix):]: int(value)
+        for key, value in sorted(counters.items())
+        if key.startswith(prefix)
+    }
 
 
 def _sha256(payload: bytes) -> str:
@@ -115,58 +152,71 @@ class ArtifactStore:
         meta_path = entry / _META_NAME
         payload_path = entry / _PAYLOAD_NAME
         if not meta_path.is_file() or not payload_path.is_file():
-            raise StoreError(
-                f"no artifact for fingerprint {fingerprint[:12]}... under {self.root}"
+            raise _refuse(
+                fingerprint, "missing",
+                f"no artifact for fingerprint {fingerprint[:12]}... under {self.root}",
             )
         try:
             meta = json.loads(meta_path.read_text())
         except (OSError, ValueError) as exc:
-            raise StoreError(f"unreadable meta for {fingerprint[:12]}...: {exc}") from exc
+            raise _refuse(
+                fingerprint, "unreadable_meta",
+                f"unreadable meta for {fingerprint[:12]}...: {exc}",
+            ) from exc
 
         if meta.get("store_schema_version") != STORE_SCHEMA_VERSION:
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "store_schema_mismatch",
                 f"store schema mismatch for {fingerprint[:12]}...: "
                 f"entry has {meta.get('store_schema_version')!r}, "
-                f"this build reads {STORE_SCHEMA_VERSION}"
+                f"this build reads {STORE_SCHEMA_VERSION}",
             )
         if meta.get("artifact_schema_version") != ARTIFACT_SCHEMA_VERSION:
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "artifact_schema_mismatch",
                 f"artifact schema mismatch for {fingerprint[:12]}...: "
                 f"entry has {meta.get('artifact_schema_version')!r}, "
-                f"this build reads {ARTIFACT_SCHEMA_VERSION}"
+                f"this build reads {ARTIFACT_SCHEMA_VERSION}",
             )
         if meta.get("fingerprint") != fingerprint:
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "foreign_meta",
                 f"foreign entry: meta claims fingerprint "
                 f"{str(meta.get('fingerprint'))[:12]}... but was found under "
-                f"{fingerprint[:12]}..."
+                f"{fingerprint[:12]}...",
             )
 
         payload = payload_path.read_bytes()
         digest = _sha256(payload)
         if digest != meta.get("payload_sha256"):
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "checksum_mismatch",
                 f"payload checksum mismatch for {fingerprint[:12]}... "
                 f"(expected {str(meta.get('payload_sha256'))[:12]}..., "
-                f"got {digest[:12]}...): truncated or corrupted entry"
+                f"got {digest[:12]}...): truncated or corrupted entry",
             )
         try:
             artifact = pickle.loads(payload)
         except Exception as exc:  # pickle raises a zoo of error types
-            raise StoreError(
-                f"payload for {fingerprint[:12]}... does not unpickle: {exc}"
+            raise _refuse(
+                fingerprint, "unpickle_error",
+                f"payload for {fingerprint[:12]}... does not unpickle: {exc}",
             ) from exc
         if not isinstance(artifact, BaselineArtifact):
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "wrong_type",
                 f"payload for {fingerprint[:12]}... is a "
-                f"{type(artifact).__name__}, not a BaselineArtifact"
+                f"{type(artifact).__name__}, not a BaselineArtifact",
             )
         if artifact.fingerprint != fingerprint:
-            raise StoreError(
+            raise _refuse(
+                fingerprint, "foreign_payload",
                 f"foreign artifact: payload carries fingerprint "
                 f"{artifact.fingerprint[:12]}... but was stored under "
-                f"{fingerprint[:12]}..."
+                f"{fingerprint[:12]}...",
             )
+        _metrics.counter("store.loads").inc()
+        _events.emit("store.loaded", fingerprint=fingerprint[:12])
         return artifact
 
     def load_for(self, network: Network) -> BaselineArtifact:

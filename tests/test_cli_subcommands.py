@@ -245,5 +245,6 @@ class TestLegacyShim:
 
     def test_subcommand_names_are_reserved(self):
         assert set(SUBCOMMANDS) == {
-            "compress", "verify", "failures", "delta", "store", "serve", "trace"
+            "compress", "verify", "failures", "delta", "store", "serve",
+            "trace", "profile", "bench",
         }

@@ -1,0 +1,224 @@
+"""Tests for the bench-history store (repro.obs.history): record
+round trips, the rolling-median regression check (including an injected
+2x regression), trend rendering, the paranoid reader, and the
+``bench history`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import history
+from repro.obs.jsonl import ObsFileError
+from repro.pipeline.cli import main as pipeline_main
+
+
+def _seed(path, values, bench="hotpaths", stage="srp_solve"):
+    """Append one record per value for a single (bench, stage)."""
+    for i, value in enumerate(values):
+        history.append(
+            str(path), bench, {stage: value},
+            timestamp=1_700_000_000.0 + i, sha=f"sha{i}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Records
+# ----------------------------------------------------------------------
+class TestRecords:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        record = history.append(
+            str(path), "hotpaths", {"srp_solve": 0.5, "compress": 1.25},
+            counters={"solver.rounds": 42}, peak_rss_mb=123.4,
+            meta={"mode": "quick"}, timestamp=1_700_000_000.0, sha="abc123",
+        )
+        assert record["kind"] == "bench_history"
+        assert record["schema_version"] == history.HISTORY_SCHEMA_VERSION
+        loaded = history.read_history(str(path))
+        assert loaded == [record]
+        assert loaded[0]["stages"] == {"srp_solve": 0.5, "compress": 1.25}
+        assert loaded[0]["peak_rss_mb"] == 123.4
+        assert loaded[0]["git_sha"] == "abc123"
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [0.1, 0.2, 0.3])
+        records = history.read_history(str(path))
+        assert [r["stages"]["srp_solve"] for r in records] == [0.1, 0.2, 0.3]
+
+    def test_git_sha_is_tolerant(self):
+        sha = history.git_sha()
+        assert sha is None or isinstance(sha, str)
+
+    def test_default_path_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS_HISTORY", raising=False)
+        assert history.default_history_path(None) == history.DEFAULT_PATH
+        monkeypatch.setenv("REPRO_OBS_HISTORY", "/tmp/h.jsonl")
+        assert history.default_history_path(None) == "/tmp/h.jsonl"
+        assert history.default_history_path("explicit.jsonl") == "explicit.jsonl"
+
+
+# ----------------------------------------------------------------------
+# Regression check
+# ----------------------------------------------------------------------
+class TestRegressionCheck:
+    def test_stable_series_is_ok(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.02, 0.98, 1.01, 1.0])
+        ok, findings = history.regression_check(history.read_history(str(path)))
+        assert ok
+        assert len(findings) == 1 and not findings[0]["regressed"]
+
+    def test_detects_injected_2x_regression(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.02, 0.98, 2.0])
+        ok, findings = history.regression_check(history.read_history(str(path)))
+        assert not ok
+        finding = findings[0]
+        assert finding["regressed"]
+        assert finding["latest"] == 2.0
+        assert finding["median"] == 1.0
+        assert finding["bound"] == pytest.approx(1.0 * 1.25 + 0.02)
+
+    def test_rolling_window_limits_reference(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        # Old slow runs fall outside the window; the check tracks the
+        # recent (faster) regime, so the same latest value regresses.
+        _seed(path, [10.0, 10.0, 10.0, 1.0, 1.0, 1.0, 1.0, 1.0, 2.0])
+        ok, findings = history.regression_check(
+            history.read_history(str(path)), window=5
+        )
+        assert not ok and findings[0]["median"] == 1.0
+
+    def test_single_run_is_not_checked(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0])
+        ok, findings = history.regression_check(history.read_history(str(path)))
+        assert ok and findings == []
+
+    def test_benches_are_independent(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.0], bench="hotpaths")
+        _seed(path, [1.0, 5.0], bench="serve")
+        ok, findings = history.regression_check(history.read_history(str(path)))
+        assert not ok
+        by_bench = {f["bench"]: f["regressed"] for f in findings}
+        assert by_bench == {"hotpaths": False, "serve": True}
+
+    def test_absolute_slack_absorbs_millisecond_noise(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        # 3x relative jump, but under the 20ms absolute floor.
+        _seed(path, [0.004, 0.012])
+        ok, _ = history.regression_check(history.read_history(str(path)))
+        assert ok
+
+
+class TestTrends:
+    def test_trend_lines_cover_stages(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [0.5, 0.6, 0.7])
+        lines = history.trend_lines(history.read_history(str(path)))
+        assert lines[0] == "hotpaths:"
+        assert "srp_solve" in lines[1] and "n=3" in lines[1]
+
+
+# ----------------------------------------------------------------------
+# Paranoid reader
+# ----------------------------------------------------------------------
+class TestHistoryReader:
+    def test_refuses_empty_and_truncated(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text("")
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "empty"
+        _seed(path, [1.0, 2.0])
+        path.write_text(path.read_text().rstrip("\n"))
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "truncated"
+
+    def test_refuses_corrupt_line_mid_file(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 2.0, 3.0])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "corrupt_json"
+
+    def test_refuses_wrong_kind_and_schema(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0])
+        record = json.loads(path.read_text())
+        record["schema_version"] = history.HISTORY_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "schema_mismatch"
+        record["schema_version"] = history.HISTORY_SCHEMA_VERSION
+        record["kind"] = "something_else"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "wrong_kind"
+
+    def test_refuses_record_missing_stages(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "kind": "bench_history",
+                "schema_version": history.HISTORY_SCHEMA_VERSION,
+            }) + "\n")
+        with pytest.raises(ObsFileError) as err:
+            history.read_history(str(path))
+        assert err.value.reason == "missing_field"
+
+
+# ----------------------------------------------------------------------
+# CLI: bench history
+# ----------------------------------------------------------------------
+class TestBenchHistoryCli:
+    def test_trends_print_without_check(self, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.1, 0.9])
+        code = pipeline_main(["bench", "history", "--history", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hotpaths:" in out and "srp_solve" in out
+
+    def test_check_passes_on_stable_history(self, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.0, 1.0])
+        code = pipeline_main(["bench", "history", "--history", str(path), "--check"])
+        assert code == 0
+        capsys.readouterr()
+
+    def test_check_fails_on_injected_regression(self, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.0, 2.0])
+        code = pipeline_main(["bench", "history", "--history", str(path), "--check"])
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().err
+
+    def test_missing_history_is_an_error(self, tmp_path, capsys):
+        code = pipeline_main(
+            ["bench", "history", "--history", str(tmp_path / "nope.jsonl")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bench_filter(self, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        _seed(path, [1.0, 1.0], bench="hotpaths")
+        _seed(path, [2.0, 2.0], bench="serve")
+        code = pipeline_main(
+            ["bench", "history", "--history", str(path), "--bench", "serve"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve:" in out and "hotpaths:" not in out

@@ -1,0 +1,49 @@
+"""Tests for repro.perfutil: ru_maxrss unit normalisation (kilobytes on
+Linux, bytes on macOS) and a sanity bound on the reported peak RSS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import perfutil
+
+
+class TestMaxrssUnits:
+    def test_linux_reports_kilobytes(self, monkeypatch):
+        monkeypatch.setattr(perfutil.sys, "platform", "linux")
+        assert perfutil._maxrss_to_mb(102400) == pytest.approx(100.0)
+        assert perfutil._maxrss_to_mb(1024) == pytest.approx(1.0)
+
+    def test_darwin_reports_bytes(self, monkeypatch):
+        monkeypatch.setattr(perfutil.sys, "platform", "darwin")
+        assert perfutil._maxrss_to_mb(104857600) == pytest.approx(100.0)
+        assert perfutil._maxrss_to_mb(1048576) == pytest.approx(1.0)
+
+    def test_units_differ_by_factor_1024(self, monkeypatch):
+        raw = 2048
+        monkeypatch.setattr(perfutil.sys, "platform", "linux")
+        linux_mb = perfutil._maxrss_to_mb(raw)
+        monkeypatch.setattr(perfutil.sys, "platform", "darwin")
+        darwin_mb = perfutil._maxrss_to_mb(raw)
+        assert linux_mb == pytest.approx(darwin_mb * 1024.0)
+
+
+class TestPeakRss:
+    def test_sane_bounds_for_a_python_process(self):
+        # A misread unit shows up orders of magnitude away from reality:
+        # bytes-as-KiB reads ~1000x too large, KiB-as-bytes ~1000x too
+        # small.  A live interpreter sits comfortably inside [5, 100000]
+        # MiB, so this bound is a regression test on the unit handling.
+        rss = perfutil.peak_rss_mb()
+        assert 5.0 <= rss <= 100_000.0
+
+    def test_children_only_add(self):
+        assert perfutil.peak_rss_mb(include_children=True) >= perfutil.peak_rss_mb(
+            include_children=False
+        )
+
+    def test_monotone_within_process(self):
+        # ru_maxrss is a lifetime high-water mark: never decreases.
+        first = perfutil.peak_rss_mb()
+        second = perfutil.peak_rss_mb()
+        assert second >= first

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
@@ -263,3 +264,89 @@ class TestWarmService:
         service = warm_service(build_topology("ring", 5), store=tmp_path)
         assert not service.session.rebuilt
         assert service.health()["classes"] == 5
+
+
+# ----------------------------------------------------------------------
+# Admission control + /events (the observability PR's serve surface)
+# ----------------------------------------------------------------------
+class TestAdmissionControl:
+    @pytest.fixture()
+    def bounded(self, service):
+        """A service sharing the warm session, bounded to one in-flight
+        query, behind its own ephemeral server."""
+        from repro.obs import events as obs_events
+
+        svc = VerificationService(service.session, max_inflight=1)
+        httpd = create_server(svc, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        host, port = httpd.server_address[:2]
+        yield svc, f"http://{host}:{port}"
+        httpd.shutdown()
+        httpd.server_close()
+        svc.event_log.close()
+        obs_events.unsubscribe(svc.event_log)
+
+    def test_inflight_gauge_tracks_requests(self, bounded):
+        svc, _ = bounded
+        with svc.track_request("verify"):
+            assert svc.inflight_snapshot() == {"verify": 1}
+            assert svc.registry.gauge("serve.inflight.verify").value == 1
+        assert svc.inflight_snapshot() == {"verify": 0}
+        assert svc.registry.gauge("serve.inflight.verify").value == 0
+
+    def test_saturated_service_returns_503_with_retry_after(self, bounded):
+        svc, base = bounded
+        with svc.track_request("verify"):
+            request = urllib.request.Request(
+                base + "/verify", data=b"{}",
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(request, timeout=30)
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "1"
+            answer = json.loads(err.value.read())
+            assert answer["ok"] is False and answer["retry_after"] == 1
+        # Once the slot frees, the same query succeeds.
+        status, answer = _post(base, "/verify", {})
+        assert status == 200 and answer["ok"] is True
+        collected = svc.registry.collect()["counters"]
+        assert collected["serve.rejected.verify"] == 1
+
+    def test_stats_surface_inflight_block(self, bounded):
+        svc, base = bounded
+        status, stats = _get(base, "/stats")
+        assert status == 200
+        assert stats["inflight"]["limit"] == 1
+        assert isinstance(stats["inflight"]["by_kind"], dict)
+
+    def test_events_endpoint_long_poll(self, bounded):
+        from repro.obs import events as obs_events
+
+        svc, base = bounded
+        obs_events.emit("test.ping", n=1)
+        status, page = _get(base, "/events?cursor=0")
+        assert status == 200 and page["ok"] is True
+        types = [e["type"] for e in page["events"]]
+        assert "test.ping" in types
+        cursor = page["cursor"]
+        # Nothing newer: an immediate poll returns empty at the cursor.
+        status, page = _get(base, f"/events?cursor={cursor}")
+        assert status == 200 and page["events"] == []
+
+        def later():
+            time.sleep(0.05)
+            obs_events.emit("test.pong", n=2)
+
+        thread = threading.Thread(target=later)
+        thread.start()
+        status, page = _get(base, f"/events?cursor={cursor}&timeout=5")
+        thread.join()
+        assert status == 200
+        assert [e["type"] for e in page["events"]] == ["test.pong"]
+
+    def test_unbounded_service_never_saturates(self, service):
+        with service.track_request("verify"):
+            with service.track_request("verify"):
+                assert service.inflight_snapshot()["verify"] == 2
